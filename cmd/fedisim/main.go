@@ -1,0 +1,71 @@
+// Command fedisim generates a world and serves the simulated platforms
+// over real TCP on loopback, so external tools (curl, custom crawlers)
+// can poke at the same APIs the in-process pipeline crawls:
+//
+//	:8081  Twitter-like API        (GET /2/tweets/search/all?query=mastodon)
+//	:8082  instance index          (GET /api/1.0/instances/list?count=0)
+//	:8083  Perspective-like scorer (POST /v1alpha1/comments:analyze)
+//	:8084  Google-Trends-like API  (GET /trends/api/series?term=mastodon)
+//	:8085  every Mastodon instance, routed by Host header:
+//	       curl -H "Host: mastodon.social" localhost:8085/api/v1/instance
+//
+// The process runs until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+
+	"flock/internal/birdsite"
+	"flock/internal/fediverse"
+	"flock/internal/indexsvc"
+	"flock/internal/toxsvc"
+	"flock/internal/trendsvc"
+	"flock/internal/world"
+)
+
+func main() {
+	migrants := flag.Int("migrants", 500, "approximate number of migrated users to simulate")
+	seed := flag.Uint64("seed", 1, "world seed")
+	base := flag.Int("port", 8081, "first port; five consecutive ports are used")
+	flag.Parse()
+
+	cfg := world.DefaultConfig(*migrants)
+	cfg.Seed = *seed
+	w, err := world.Generate(cfg)
+	if err != nil {
+		log.Fatalf("world: %v", err)
+	}
+	log.Printf("world ready: %d users, %d migrants, %d instances, %d tweets, %d statuses",
+		len(w.Users), len(w.Migrants), len(w.Instances), w.TweetCount(), w.StatusCount())
+
+	serve := func(port int, name string, h http.Handler) {
+		l, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", port))
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		log.Printf("%-10s http://127.0.0.1:%d", name, port)
+		go func() {
+			if err := http.Serve(l, h); err != nil {
+				log.Printf("%s stopped: %v", name, err)
+			}
+		}()
+	}
+	serve(*base+0, "birdsite", birdsite.New(w).Handler())
+	serve(*base+1, "index", indexsvc.New(w).Handler())
+	serve(*base+2, "toxicity", toxsvc.New(0).Handler())
+	serve(*base+3, "trends", trendsvc.Handler())
+	// All fediverse instances behind one port; dispatch is by Host.
+	serve(*base+4, "fediverse", fediverse.New(w).Handler())
+	log.Printf("fediverse hosts: e.g. curl -H 'Host: mastodon.social' http://127.0.0.1:%d/api/v1/instance", *base+4)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	log.Print("shutting down")
+}

@@ -1,0 +1,70 @@
+// Command migratrack runs the full reproduction pipeline: generate a
+// synthetic world, serve the simulated platforms, run the paper's §3
+// crawl against them, compute every analysis, and print the figures and
+// the paper-vs-measured summary.
+//
+// Usage:
+//
+//	migratrack [-migrants N] [-seed S] [-toxicity] [-out DIR] [-fig N|all|summary]
+//
+// With -out the crawled dataset is anonymized (§3.4) and written as
+// gzip JSONL with a manifest, loadable by cmd/figures.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"flock/internal/core"
+	"flock/internal/report"
+	"flock/internal/store"
+)
+
+func main() {
+	migrants := flag.Int("migrants", 1000, "approximate number of migrated users to simulate")
+	seed := flag.Uint64("seed", 1, "world seed (identical seeds give identical runs)")
+	toxicity := flag.Bool("toxicity", false, "score every post via the Perspective-style service during the crawl (slower, faithful); otherwise scores are computed locally at analysis time")
+	out := flag.String("out", "", "directory to write the anonymized dataset to")
+	fig := flag.String("fig", "summary", `what to print: a figure number 1-16, "all", or "summary"`)
+	salt := flag.String("salt", "flock-default-salt", "anonymization salt for -out")
+	verbose := flag.Bool("v", false, "log crawl progress")
+	flag.Parse()
+
+	cfg := core.DefaultConfig(*migrants)
+	cfg.World.Seed = *seed
+	cfg.ScoreToxicity = *toxicity
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+
+	res, err := core.Run(context.Background(), cfg)
+	if err != nil {
+		log.Fatalf("pipeline: %v", err)
+	}
+
+	switch *fig {
+	case "all":
+		fmt.Print(report.All(res))
+	case "summary":
+		fmt.Print(report.Summary(res))
+	default:
+		n, err := strconv.Atoi(*fig)
+		if err != nil || report.Figure(res, n) == "" {
+			fmt.Fprintf(os.Stderr, "unknown -fig %q (want 1-16, all, summary)\n", *fig)
+			os.Exit(2)
+		}
+		fmt.Print(report.Figure(res, n))
+	}
+
+	if *out != "" {
+		anon := store.NewAnonymizer(*salt).Anonymize(res.Dataset)
+		if err := store.Save(*out, anon, true); err != nil {
+			log.Fatalf("saving dataset: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "anonymized dataset written to %s\n", *out)
+	}
+}

@@ -1,0 +1,53 @@
+// Contagion: the RQ2 deep-dive (§5, Figs. 8-10). Shows the ego-network
+// influence on migration and instance switching, and quantifies the
+// contagion signal by comparing migrated-followee rates against the
+// population base rate.
+//
+//	go run ./examples/contagion
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"flock/internal/core"
+	"flock/internal/report"
+	"flock/internal/stats"
+)
+
+func main() {
+	cfg := core.DefaultConfig(600)
+	cfg.World.Seed = 5
+	cfg.ScoreToxicity = false
+
+	res, err := core.Run(context.Background(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(report.Fig7Networks(res.Networks))
+	fmt.Println()
+	fmt.Print(report.Fig8Contagion(res.Contagion))
+	fmt.Println()
+	fmt.Print(report.Fig9Chord(res.Switching))
+	fmt.Println()
+	fmt.Print(report.Fig10SwitchInfluence(res.Switching))
+	fmt.Println()
+
+	// The contagion signal: migrants' ego networks migrate at a higher
+	// rate than the population at large. A followee only counts as
+	// migrated if the crawl *mapped* them, so the measured rate is a
+	// lower bound (the paper's 5.99% has the same property); compare
+	// against the base rate scaled by mapping recall.
+	trueBase := 1.0 / float64(res.World.Cfg.PopulationFactor)
+	recall := float64(res.Coverage.Pairs) / float64(len(res.World.Migrants))
+	base := trueBase * recall
+	lift := res.Contagion.MeanFracMigrated / base
+	fmt.Println("contagion lift:")
+	fmt.Printf("  mappable-population migration rate ~%s, followee rate %s -> lift %.2fx\n",
+		stats.Percent(base), stats.Percent(res.Contagion.MeanFracMigrated), lift)
+	fmt.Printf("  switchers follow their network: %s of their followees were already on\n",
+		stats.Percent(res.Switching.MeanFracSecondBefore))
+	fmt.Println("  the destination instance before they switched (paper: 77.42%)")
+}

@@ -1,0 +1,55 @@
+// Quickstart: run the whole reproduction on a small world and print the
+// headline findings — the three RQ answers from the paper's abstract.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"flock/internal/core"
+	"flock/internal/report"
+	"flock/internal/stats"
+)
+
+func main() {
+	// A small world keeps this under ~10 seconds; scale NMigrants up for
+	// tighter statistics.
+	cfg := core.DefaultConfig(400)
+	cfg.World.Seed = 2023
+	cfg.ScoreToxicity = false // score locally at analysis time (faster)
+
+	res, err := core.Run(context.Background(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("tracked %d migrated users across %d instances\n\n",
+		res.Coverage.Pairs, res.Coverage.InstancesReceived)
+
+	fmt.Println("RQ1 — the centralization paradox:")
+	fmt.Printf("  top 25%% of instances hold %s of migrated users (paper: 96%%)\n",
+		stats.Percent(res.RQ1.Top25Share))
+	fmt.Printf("  single-user instances: %s of receiving instances (paper: 13.16%%)\n",
+		stats.Percent(res.RQ1.SingleUserInstanceFrac))
+	fmt.Printf("  ...whose users post %+.0f%% more statuses than flagship users (paper: +121%%)\n\n",
+		res.RQ1.SingleVsLargest.StatusBoost*100)
+
+	fmt.Println("RQ2 — social network influence:")
+	fmt.Printf("  %s of a user's followees also migrate (paper: 5.99%%)\n",
+		stats.Percent(res.Contagion.MeanFracMigrated))
+	fmt.Printf("  %s of migrating followees pick the same instance (paper: 14.72%%)\n",
+		stats.Percent(res.Contagion.MeanFracSameInstance))
+	fmt.Printf("  %s of users switch instance, %s of them after the takeover (paper: 4.09%%, 97.22%%)\n\n",
+		stats.Percent(res.Switching.SwitcherFrac), stats.Percent(res.Switching.PostTakeoverFrac))
+
+	fmt.Println("RQ3 — usage across both platforms:")
+	fmt.Printf("  identical cross-platform posts: %s of statuses per user (paper: 1.53%%)\n",
+		stats.Percent(res.Overlap.MeanIdentical))
+	fmt.Printf("  toxicity: %s of tweets vs %s of statuses (paper: 5.49%% vs 2.80%%)\n\n",
+		stats.Percent(res.Toxicity.OverallTweetToxic), stats.Percent(res.Toxicity.OverallStatusToxic))
+
+	fmt.Println(report.Summary(res))
+}

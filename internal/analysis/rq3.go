@@ -1,0 +1,466 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"flock/internal/crawler"
+	"flock/internal/stats"
+	"flock/internal/textkit"
+	"flock/internal/textsim"
+	"flock/internal/vclock"
+)
+
+// CrossposterSources are the §6.1 bridge client names.
+var CrossposterSources = map[string]bool{
+	"Mastodon Twitter Crossposter": true,
+	"Moa Bridge":                   true,
+}
+
+// DailyActivity is Fig. 11: tweets and statuses per study day.
+type DailyActivity struct {
+	Days     []string // "Oct 01" labels
+	Tweets   []int
+	Statuses []int
+}
+
+// Timelines computes Fig. 11 over the crawled timelines.
+func Timelines(ds *crawler.Dataset) *DailyActivity {
+	out := &DailyActivity{
+		Days:     make([]string, vclock.StudyDays),
+		Tweets:   make([]int, vclock.StudyDays),
+		Statuses: make([]int, vclock.StudyDays),
+	}
+	for d := 0; d < vclock.StudyDays; d++ {
+		out.Days[d] = vclock.FormatDay(vclock.DayStart(d))
+	}
+	for _, tl := range ds.TwitterTimelines {
+		for _, p := range tl.Posts {
+			if d := vclock.Day(p.Time); d >= 0 && d < vclock.StudyDays {
+				out.Tweets[d]++
+			}
+		}
+	}
+	for _, tl := range ds.MastodonTimelines {
+		for _, p := range tl.Posts {
+			if d := vclock.Day(p.Time); d >= 0 && d < vclock.StudyDays {
+				out.Statuses[d]++
+			}
+		}
+	}
+	return out
+}
+
+// SourceCount is one Fig. 12 bar: tweets via a client, before and after
+// the takeover.
+type SourceCount struct {
+	Name string
+	Pre  int
+	Post int
+}
+
+// Growth returns the pre-to-post growth (post/pre - 1); pre==0 yields
+// +inf handled as a large value for sorting, reported as-is.
+func (s SourceCount) Growth() float64 {
+	if s.Pre == 0 {
+		if s.Post == 0 {
+			return 0
+		}
+		return float64(s.Post) // effectively unbounded
+	}
+	return float64(s.Post-s.Pre) / float64(s.Pre)
+}
+
+// Sources is the Fig. 12 + Fig. 13 + §6.1 result.
+type Sources struct {
+	// Top30 sources by total volume.
+	Top30 []SourceCount
+	// CrossposterGrowth per bridge (paper: +1128.95% and +1732.26%).
+	CrossposterGrowth map[string]float64
+	// CrossposterUserFrac: migrants using a bridge at least once
+	// (paper: 5.73%).
+	CrossposterUserFrac float64
+	// DailyCrossposterUsers is Fig. 13: distinct bridge users per day.
+	DailyCrossposterUsers []int
+}
+
+// RQ3Sources computes the tweet-source results.
+func RQ3Sources(ds *crawler.Dataset) *Sources {
+	out := &Sources{
+		CrossposterGrowth:     map[string]float64{},
+		DailyCrossposterUsers: make([]int, vclock.StudyDays),
+	}
+	counts := map[string]*SourceCount{}
+	crossUsers := map[string]bool{}
+	dailyUsers := make([]map[string]bool, vclock.StudyDays)
+	for d := range dailyUsers {
+		dailyUsers[d] = map[string]bool{}
+	}
+	usersWithTimeline := 0
+	for userID, tl := range ds.TwitterTimelines {
+		if tl.State != crawler.StateOK {
+			continue
+		}
+		usersWithTimeline++
+		for _, p := range tl.Posts {
+			c := counts[p.Source]
+			if c == nil {
+				c = &SourceCount{Name: p.Source}
+				counts[p.Source] = c
+			}
+			if vclock.PostTakeover(p.Time) {
+				c.Post++
+			} else {
+				c.Pre++
+			}
+			if CrossposterSources[p.Source] {
+				crossUsers[userID] = true
+				if d := vclock.Day(p.Time); d >= 0 && d < vclock.StudyDays {
+					dailyUsers[d][userID] = true
+				}
+			}
+		}
+	}
+	rows := make([]SourceCount, 0, len(counts))
+	for _, c := range counts {
+		rows = append(rows, *c)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		ti, tj := rows[i].Pre+rows[i].Post, rows[j].Pre+rows[j].Post
+		if ti != tj {
+			return ti > tj
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	if len(rows) > 30 {
+		rows = rows[:30]
+	}
+	out.Top30 = rows
+	for name := range CrossposterSources {
+		if c, ok := counts[name]; ok {
+			out.CrossposterGrowth[name] = c.Growth()
+		}
+	}
+	if usersWithTimeline > 0 {
+		out.CrossposterUserFrac = float64(len(crossUsers)) / float64(usersWithTimeline)
+	}
+	for d := range dailyUsers {
+		out.DailyCrossposterUsers[d] = len(dailyUsers[d])
+	}
+	return out
+}
+
+// Overlap is the Fig. 14 / §6.1 content-similarity result.
+type Overlap struct {
+	// IdenticalFrac / SimilarFrac are per-user CDFs of the fraction of
+	// Mastodon statuses identical/similar to the user's tweets.
+	IdenticalFrac *stats.ECDF
+	SimilarFrac   *stats.ECDF
+	MeanIdentical float64 // paper: 1.53%
+	MeanSimilar   float64 // paper: 16.57%
+	// CompletelyDifferentFrac: users whose similar-status fraction is
+	// below DifferentFloor (paper: 84.45% "post completely different
+	// content"). An exact-zero definition is unusable: at any similarity
+	// threshold a per-status false-positive rate of even 2% would give
+	// most 60-status users at least one spurious match.
+	CompletelyDifferentFrac float64
+	UsersCompared           int
+}
+
+// DifferentFloor is the similar-fraction below which a user counts as
+// posting "completely different" content on the two platforms.
+const DifferentFloor = 0.05
+
+// OverlapOptions tunes the Fig. 14 computation.
+type OverlapOptions struct {
+	// Threshold is the similarity cutoff (paper: 0.7 on SBERT cosine).
+	Threshold float64
+	// MaxUsers caps how many users are compared (0 = all); the
+	// comparison is quadratic per user.
+	MaxUsers int
+}
+
+// RQ3Overlap computes cross-platform content similarity.
+func RQ3Overlap(ds *crawler.Dataset, opt OverlapOptions) *Overlap {
+	if opt.Threshold == 0 {
+		opt.Threshold = textsim.DefaultThreshold
+	}
+	out := &Overlap{}
+	var idFracs, simFracs []float64
+	different := 0
+
+	ids := make([]string, 0, len(ds.MastodonTimelines))
+	for id := range ds.MastodonTimelines {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if opt.MaxUsers > 0 && out.UsersCompared >= opt.MaxUsers {
+			break
+		}
+		mtl := ds.MastodonTimelines[id]
+		ttl := ds.TwitterTimelines[id]
+		if mtl == nil || ttl == nil || mtl.State != crawler.StateOK || ttl.State != crawler.StateOK {
+			continue
+		}
+		if len(mtl.Posts) == 0 || len(ttl.Posts) == 0 {
+			continue
+		}
+		out.UsersCompared++
+		texts := make([]string, len(ttl.Posts))
+		for i, p := range ttl.Posts {
+			texts[i] = p.Text
+		}
+		idx := textsim.NewIndex(texts)
+		identical, similar := 0, 0
+		for _, sp := range mtl.Posts {
+			best, sim := idx.BestMatch(textsim.Embed(sp.Text))
+			if best < 0 {
+				continue
+			}
+			switch {
+			case textsim.Identical(sp.Text, texts[best]):
+				identical++
+			case sim >= opt.Threshold:
+				similar++
+			}
+		}
+		n := float64(len(mtl.Posts))
+		idFracs = append(idFracs, float64(identical)/n)
+		simFracs = append(simFracs, float64(identical+similar)/n)
+		if float64(identical+similar)/n < DifferentFloor {
+			different++
+		}
+	}
+	out.IdenticalFrac = stats.NewECDF(idFracs)
+	out.SimilarFrac = stats.NewECDF(simFracs)
+	out.MeanIdentical = stats.Mean(idFracs)
+	out.MeanSimilar = stats.Mean(simFracs)
+	if out.UsersCompared > 0 {
+		out.CompletelyDifferentFrac = float64(different) / float64(out.UsersCompared)
+	}
+	return out
+}
+
+// HashtagTables is the Fig. 15 result.
+type HashtagTables struct {
+	Twitter  []stats.FreqCount
+	Mastodon []stats.FreqCount
+}
+
+// RQ3Hashtags extracts the top-30 hashtags per platform.
+func RQ3Hashtags(ds *crawler.Dataset) *HashtagTables {
+	tw := map[string]int{}
+	ms := map[string]int{}
+	for _, tl := range ds.TwitterTimelines {
+		for _, p := range tl.Posts {
+			for _, h := range textkit.Hashtags(p.Text) {
+				tw[h]++
+			}
+		}
+	}
+	for _, tl := range ds.MastodonTimelines {
+		for _, p := range tl.Posts {
+			for _, h := range textkit.Hashtags(p.Text) {
+				ms[h]++
+			}
+		}
+	}
+	return &HashtagTables{
+		Twitter:  stats.TopK(tw, 30),
+		Mastodon: stats.TopK(ms, 30),
+	}
+}
+
+// ToxicityResult is the Fig. 16 / §6.3 result.
+type ToxicityResult struct {
+	// TweetToxicFrac / StatusToxicFrac are the per-user CDFs.
+	TweetToxicFrac  *stats.ECDF
+	StatusToxicFrac *stats.ECDF
+	// Overall post-level rates (paper: 5.49% / 2.80%).
+	OverallTweetToxic  float64
+	OverallStatusToxic float64
+	// Per-user means (paper: 4.02% / 2.07%).
+	MeanUserTweetToxic  float64
+	MeanUserStatusToxic float64
+	// BothPlatformsFrac: users with >= 1 toxic post on each platform
+	// (paper: 14.26%).
+	BothPlatformsFrac float64
+	ScoredTweets      int
+	ScoredStatuses    int
+}
+
+// ToxicityOptions tunes the toxicity analysis.
+type ToxicityOptions struct {
+	// Threshold classifies a post toxic (paper: 0.5; 0.8 is the stricter
+	// variant some prior work uses).
+	Threshold float64
+	// ScoreFn scores posts whose crawl-time Toxicity is missing (<0).
+	// nil skips unscored posts.
+	ScoreFn func(text string) float64
+}
+
+// RQ3Toxicity computes toxicity prevalence on both platforms.
+func RQ3Toxicity(ds *crawler.Dataset, opt ToxicityOptions) *ToxicityResult {
+	if opt.Threshold == 0 {
+		opt.Threshold = 0.5
+	}
+	out := &ToxicityResult{}
+	var userTweetFracs, userStatusFracs []float64
+	var totalTweets, toxicTweets, totalStatuses, toxicStatuses int
+	both := 0
+	users := 0
+
+	score := func(p *crawler.Post) (float64, bool) {
+		if p.Toxicity >= 0 {
+			return p.Toxicity, true
+		}
+		if opt.ScoreFn != nil {
+			return opt.ScoreFn(p.Text), true
+		}
+		return 0, false
+	}
+
+	ids := make([]string, 0, len(ds.TwitterTimelines))
+	for id := range ds.TwitterTimelines {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ttl := ds.TwitterTimelines[id]
+		mtl := ds.MastodonTimelines[id]
+		var tTox, tAll, sTox, sAll int
+		if ttl != nil && ttl.State == crawler.StateOK {
+			for i := range ttl.Posts {
+				v, ok := score(&ttl.Posts[i])
+				if !ok {
+					continue
+				}
+				tAll++
+				if v > opt.Threshold {
+					tTox++
+				}
+			}
+		}
+		if mtl != nil && mtl.State == crawler.StateOK {
+			for i := range mtl.Posts {
+				v, ok := score(&mtl.Posts[i])
+				if !ok {
+					continue
+				}
+				sAll++
+				if v > opt.Threshold {
+					sTox++
+				}
+			}
+		}
+		totalTweets += tAll
+		toxicTweets += tTox
+		totalStatuses += sAll
+		toxicStatuses += sTox
+		if tAll > 0 {
+			userTweetFracs = append(userTweetFracs, float64(tTox)/float64(tAll))
+		}
+		if sAll > 0 {
+			userStatusFracs = append(userStatusFracs, float64(sTox)/float64(sAll))
+		}
+		if tAll > 0 || sAll > 0 {
+			users++
+			if tTox > 0 && sTox > 0 {
+				both++
+			}
+		}
+	}
+	out.TweetToxicFrac = stats.NewECDF(userTweetFracs)
+	out.StatusToxicFrac = stats.NewECDF(userStatusFracs)
+	out.MeanUserTweetToxic = stats.Mean(userTweetFracs)
+	out.MeanUserStatusToxic = stats.Mean(userStatusFracs)
+	out.ScoredTweets = totalTweets
+	out.ScoredStatuses = totalStatuses
+	if totalTweets > 0 {
+		out.OverallTweetToxic = float64(toxicTweets) / float64(totalTweets)
+	}
+	if totalStatuses > 0 {
+		out.OverallStatusToxic = float64(toxicStatuses) / float64(totalStatuses)
+	}
+	if users > 0 {
+		out.BothPlatformsFrac = float64(both) / float64(users)
+	}
+	return out
+}
+
+// CollectionSeries is Fig. 2: daily collected tweets by query class.
+type CollectionSeries struct {
+	Days          []string
+	InstanceLinks []int
+	Keywords      []int
+}
+
+// CollectionFigure computes Fig. 2 from the collection corpus.
+func CollectionFigure(ds *crawler.Dataset) *CollectionSeries {
+	out := &CollectionSeries{
+		Days:          make([]string, vclock.StudyDays),
+		InstanceLinks: make([]int, vclock.StudyDays),
+		Keywords:      make([]int, vclock.StudyDays),
+	}
+	for d := 0; d < vclock.StudyDays; d++ {
+		out.Days[d] = vclock.FormatDay(vclock.DayStart(d))
+	}
+	for _, ct := range ds.CollectedTweets {
+		d := vclock.Day(ct.Time)
+		if d < 0 || d >= vclock.StudyDays {
+			continue
+		}
+		if ct.Class == crawler.ClassInstanceLink {
+			out.InstanceLinks[d]++
+		} else {
+			out.Keywords[d]++
+		}
+	}
+	return out
+}
+
+// ActivitySeries is Fig. 3: fediverse-wide weekly activity, summed over
+// crawled instances.
+type ActivitySeries struct {
+	Weeks         []string
+	Registrations []int
+	Logins        []int
+	Statuses      []int
+}
+
+// ActivityFigure aggregates the per-instance weekly activity crawl.
+func ActivityFigure(ds *crawler.Dataset) *ActivitySeries {
+	agg := map[string]*[3]int{}
+	var weeks []string
+	for _, series := range ds.Activity {
+		for _, wk := range series {
+			key := wk.Week.UTC().Format("2006-01-02")
+			a := agg[key]
+			if a == nil {
+				a = &[3]int{}
+				agg[key] = a
+				weeks = append(weeks, key)
+			}
+			a[0] += wk.Registrations
+			a[1] += wk.Logins
+			a[2] += wk.Statuses
+		}
+	}
+	sort.Strings(weeks)
+	out := &ActivitySeries{}
+	for _, wk := range weeks {
+		a := agg[wk]
+		out.Weeks = append(out.Weeks, wk)
+		out.Registrations = append(out.Registrations, a[0])
+		out.Logins = append(out.Logins, a[1])
+		out.Statuses = append(out.Statuses, a[2])
+	}
+	return out
+}
+
+// sourceIsOfficial reports whether a client is a first-party Twitter
+// client (used in the report's Fig. 12 narrative).
+func sourceIsOfficial(name string) bool {
+	return strings.HasPrefix(name, "Twitter ") || name == "TweetDeck"
+}

@@ -1,0 +1,319 @@
+// Package birdsite simulates the Twitter v2 API surface the paper's data
+// collection used (§3.1–3.3):
+//
+//   - GET /2/tweets/search/all   — full-archive search with a query
+//     language subset (keywords, "quoted phrases", #hashtags, url:domain,
+//     from:user, OR groups), time windows and cursor pagination
+//   - GET /2/users/by/username/X — user lookup with bio/location/url/
+//     pinned tweet metadata (the §3.1 handle-match inputs)
+//   - GET /2/users/:id           — user lookup by ID
+//   - GET /2/users/:id/tweets    — user timeline (§3.2)
+//   - GET /2/users/:id/following — followees, paginated (§3.3)
+//
+// Response shapes follow the v2 API closely enough that the crawler code
+// reads like real Twitter client code. The service enforces per-endpoint
+// rate limits, returning 429 with x-rate-limit-reset, and reproduces the
+// account-state failures the paper hit: suspended (403), deleted (404),
+// protected (401) accounts.
+package birdsite
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"flock/internal/world"
+)
+
+// Host is the API hostname the service binds on the fabric.
+const Host = "api.birdsite.test"
+
+// Service owns the indexed tweet corpus and user directory.
+type Service struct {
+	w *world.World
+
+	// flat corpus sorted by (Time, ID) ascending.
+	tweets []tweetRef
+	// inverted index: token -> positions in tweets (ascending).
+	postings map[string][]int32
+	// user directory.
+	byUsername map[string]*world.User
+	byID       map[string]*world.User
+
+	// rate limiting (nil = unlimited).
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	limits  Limits
+}
+
+// tweetRef locates one tweet in the world.
+type tweetRef struct {
+	UserID int
+	Idx    int // index within TweetsByUser[UserID]
+}
+
+// Limits configures per-endpoint rate limits as requests per window.
+// Zero values disable limiting for that endpoint.
+type Limits struct {
+	SearchPerWindow    int
+	UsersPerWindow     int
+	FollowingPerWindow int
+	TimelinePerWindow  int
+	Window             time.Duration
+}
+
+// bucket is a fixed-window counter.
+type bucket struct {
+	windowStart time.Time
+	count       int
+}
+
+// New indexes the world and returns the service. Indexing cost is paid
+// once; queries are posting-list intersections.
+func New(w *world.World) *Service {
+	s := &Service{
+		w:          w,
+		postings:   make(map[string][]int32),
+		byUsername: make(map[string]*world.User, len(w.Users)),
+		byID:       make(map[string]*world.User, len(w.Users)),
+		buckets:    make(map[string]*bucket),
+	}
+	for _, u := range w.Users {
+		s.byUsername[strings.ToLower(u.Username)] = u
+		s.byID[u.TwitterID.String()] = u
+	}
+	for uid, tweets := range w.TweetsByUser {
+		for i := range tweets {
+			s.tweets = append(s.tweets, tweetRef{UserID: uid, Idx: i})
+		}
+	}
+	sort.Slice(s.tweets, func(a, b int) bool {
+		ta, tb := s.get(s.tweets[a]), s.get(s.tweets[b])
+		if !ta.Time.Equal(tb.Time) {
+			return ta.Time.Before(tb.Time)
+		}
+		return ta.ID < tb.ID
+	})
+	for pos, ref := range s.tweets {
+		tw := s.get(ref)
+		for _, tok := range indexTokens(tw.Text) {
+			s.postings[tok] = append(s.postings[tok], int32(pos))
+		}
+		// from: operator support.
+		s.postings["from:"+strings.ToLower(s.w.Users[ref.UserID].Username)] = append(
+			s.postings["from:"+strings.ToLower(s.w.Users[ref.UserID].Username)], int32(pos))
+	}
+	return s
+}
+
+// SetLimits installs rate limits (tests and realistic crawls).
+func (s *Service) SetLimits(l Limits) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.limits = l
+}
+
+func (s *Service) get(ref tweetRef) *world.Tweet {
+	return &s.w.TweetsByUser[ref.UserID][ref.Idx]
+}
+
+// urlRe finds https?:// URLs for domain extraction at index time.
+var urlRe = regexp.MustCompile(`https?://([a-zA-Z0-9.-]+)(/[^\s]*)?`)
+
+// indexTokens produces the searchable tokens of a tweet: lowercase words,
+// #hashtags, and url:domain markers for every linked host.
+func indexTokens(text string) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(tok string) {
+		if tok != "" && !seen[tok] {
+			seen[tok] = true
+			out = append(out, tok)
+		}
+	}
+	for _, m := range urlRe.FindAllStringSubmatch(text, -1) {
+		add("url:" + strings.ToLower(m[1]))
+	}
+	clean := urlRe.ReplaceAllString(text, " ")
+	for _, f := range strings.Fields(strings.ToLower(clean)) {
+		f = strings.Trim(f, ".,;:!?()[]\"'—")
+		if f == "" {
+			continue
+		}
+		if strings.HasPrefix(f, "#") {
+			add(f)
+			add(strings.TrimPrefix(f, "#"))
+			continue
+		}
+		add(f)
+	}
+	return out
+}
+
+// Query grammar: clauses separated by OR; a clause is a conjunction of
+// terms. Terms: word, #tag, "quoted phrase" (AND of its words, then
+// verified as substring), url:domain, from:user.
+type query struct {
+	clauses [][]term
+}
+
+type term struct {
+	tok    string // posting-list token
+	phrase string // non-empty for quoted phrases (verified on text)
+}
+
+// parseQuery parses the operator subset. It is liberal: unknown syntax
+// degrades to keyword terms, like the real API's matching behaviour.
+func parseQuery(q string) query {
+	var out query
+	for _, clause := range splitTopOR(q) {
+		var terms []term
+		rest := strings.TrimSpace(clause)
+		for rest != "" {
+			rest = strings.TrimSpace(rest)
+			if rest == "" {
+				break
+			}
+			if rest[0] == '"' {
+				end := strings.IndexByte(rest[1:], '"')
+				if end < 0 {
+					rest = rest[1:]
+					continue
+				}
+				phrase := rest[1 : 1+end]
+				rest = rest[min(len(rest), end+2):]
+				words := strings.Fields(strings.ToLower(phrase))
+				for _, w := range words {
+					terms = append(terms, term{tok: strings.Trim(w, ".,;:!?")})
+				}
+				if len(words) > 1 {
+					terms = append(terms, term{phrase: strings.ToLower(phrase)})
+				}
+				continue
+			}
+			sp := strings.IndexByte(rest, ' ')
+			var word string
+			if sp < 0 {
+				word, rest = rest, ""
+			} else {
+				word, rest = rest[:sp], rest[sp+1:]
+			}
+			word = strings.ToLower(word)
+			switch {
+			case strings.HasPrefix(word, "url:"):
+				dom := strings.Trim(strings.TrimPrefix(word, "url:"), `"`)
+				terms = append(terms, term{tok: "url:" + dom})
+			case strings.HasPrefix(word, "from:"):
+				terms = append(terms, term{tok: word})
+			default:
+				terms = append(terms, term{tok: strings.Trim(word, ".,;:!?")})
+			}
+		}
+		if len(terms) > 0 {
+			out.clauses = append(out.clauses, terms)
+		}
+	}
+	return out
+}
+
+// splitTopOR splits on the OR keyword outside quotes.
+func splitTopOR(q string) []string {
+	var parts []string
+	var cur strings.Builder
+	inQuote := false
+	fields := strings.Fields(q)
+	for _, f := range fields {
+		if !inQuote && f == "OR" {
+			parts = append(parts, cur.String())
+			cur.Reset()
+			continue
+		}
+		// Track quote state across fields.
+		if strings.Count(f, `"`)%2 == 1 {
+			inQuote = !inQuote
+		}
+		if cur.Len() > 0 {
+			cur.WriteByte(' ')
+		}
+		cur.WriteString(f)
+	}
+	parts = append(parts, cur.String())
+	return parts
+}
+
+// search evaluates q over the corpus within [start, end), returning
+// ascending positions.
+func (s *Service) search(q query, start, end time.Time) []int32 {
+	resultSet := map[int32]bool{}
+	for _, clause := range q.clauses {
+		var acc []int32
+		first := true
+		failed := false
+		for _, t := range clause {
+			if t.phrase != "" {
+				continue // verified later
+			}
+			pl := s.postings[t.tok]
+			if len(pl) == 0 {
+				failed = true
+				break
+			}
+			if first {
+				acc = append([]int32(nil), pl...)
+				first = false
+			} else {
+				acc = intersect(acc, pl)
+				if len(acc) == 0 {
+					failed = true
+					break
+				}
+			}
+		}
+		if failed || first {
+			continue
+		}
+		for _, pos := range acc {
+			tw := s.get(s.tweets[pos])
+			if tw.Time.Before(start) || !tw.Time.Before(end) {
+				continue
+			}
+			ok := true
+			for _, t := range clause {
+				if t.phrase != "" && !strings.Contains(strings.ToLower(tw.Text), t.phrase) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				resultSet[pos] = true
+			}
+		}
+	}
+	out := make([]int32, 0, len(resultSet))
+	for pos := range resultSet {
+		out = append(out, pos)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// intersect merges two ascending posting lists.
+func intersect(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

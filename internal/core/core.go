@@ -1,0 +1,199 @@
+// Package core wires the whole reproduction together: it generates a
+// synthetic world, serves the simulated platforms over an in-memory
+// network, runs the paper's crawl methodology against them, and computes
+// every analysis in the evaluation. It is the public entry point used by
+// the cmd tools, the examples and the benchmark harness.
+//
+// The one-call form:
+//
+//	res, err := core.Run(ctx, core.DefaultConfig(2000))
+//
+// gives a Result with the dataset and all figure-level analyses. For
+// finer control (e.g. keeping the services alive to poke at them), use
+// NewEnv + Env.Crawl + Analyze.
+package core
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"flock/internal/analysis"
+	"flock/internal/birdsite"
+	"flock/internal/crawler"
+	"flock/internal/fediverse"
+	"flock/internal/indexsvc"
+	"flock/internal/memnet"
+	"flock/internal/toxsvc"
+	"flock/internal/world"
+)
+
+// Config parameterizes a full pipeline run.
+type Config struct {
+	// World is the generative model configuration.
+	World world.Config
+	// Concurrency bounds the crawler's parallel fetches.
+	Concurrency int
+	// MaxSearchPages caps search pagination (0 = unlimited).
+	MaxSearchPages int
+	// ScoreToxicity runs the §6.3 Perspective pass over every post
+	// during the crawl (HTTP per post; the faithful but slower path).
+	ScoreToxicity bool
+	// ApplyOutages takes the world's down instances offline between
+	// mapping and timeline crawl, reproducing §3.2's 11.58% failure.
+	ApplyOutages bool
+	// OverlapMaxUsers caps the (quadratic) Fig. 14 comparison
+	// (0 = all users).
+	OverlapMaxUsers int
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// DefaultConfig returns a pipeline config for a world of nMigrants.
+func DefaultConfig(nMigrants int) Config {
+	return Config{
+		World:         world.DefaultConfig(nMigrants),
+		Concurrency:   8,
+		ScoreToxicity: true,
+		ApplyOutages:  true,
+	}
+}
+
+// Env is a running simulated internet: world + services on a fabric.
+type Env struct {
+	World  *world.World
+	Fabric *memnet.Fabric
+	Fedi   *fediverse.Service
+	Client *http.Client
+	stops  []func()
+}
+
+// NewEnv generates the world and brings every service up.
+func NewEnv(cfg world.Config) (*Env, error) {
+	w, err := world.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fab := memnet.NewFabric()
+	env := &Env{World: w, Fabric: fab, Client: fab.Client()}
+	serve := func(host string, h http.Handler) error {
+		stop, err := fab.Serve(host, h)
+		if err != nil {
+			return err
+		}
+		env.stops = append(env.stops, stop)
+		return nil
+	}
+	if err := serve(birdsite.Host, birdsite.New(w).Handler()); err != nil {
+		return nil, err
+	}
+	if err := serve(indexsvc.Host, indexsvc.New(w).Handler()); err != nil {
+		return nil, err
+	}
+	if err := serve(toxsvc.Host, toxsvc.New(0).Handler()); err != nil {
+		return nil, err
+	}
+	env.Fedi = fediverse.New(w)
+	stop, err := env.Fedi.RegisterAll(fab)
+	if err != nil {
+		return nil, err
+	}
+	env.stops = append(env.stops, stop)
+	return env, nil
+}
+
+// Close shuts every service down.
+func (e *Env) Close() {
+	for _, stop := range e.stops {
+		stop()
+	}
+	e.Fabric.Close()
+}
+
+// Crawl runs the paper's §3 methodology against the environment.
+func (e *Env) Crawl(ctx context.Context, cfg Config) (*crawler.Dataset, error) {
+	c := crawler.New(crawler.Config{
+		TwitterBase:     "https://" + birdsite.Host,
+		IndexBase:       "https://" + indexsvc.Host,
+		PerspectiveBase: "https://" + toxsvc.Host,
+		HTTP:            e.Client,
+		Concurrency:     cfg.Concurrency,
+		MaxSearchPages:  cfg.MaxSearchPages,
+		ScoreToxicity:   cfg.ScoreToxicity,
+		Logf:            cfg.Logf,
+		BeforeTimelines: func() {
+			if !cfg.ApplyOutages {
+				return
+			}
+			e.Fedi.ApplyOutages(e.Fabric)
+			// Outages only affect new dials; drop pooled connections the
+			// way hours of real wall-clock time would.
+			if tr, ok := e.Client.Transport.(*http.Transport); ok {
+				tr.CloseIdleConnections()
+			}
+		},
+	})
+	return c.Run(ctx)
+}
+
+// Result bundles the dataset with every analysis in the evaluation.
+type Result struct {
+	World    *world.World
+	Dataset  *crawler.Dataset
+	Coverage crawler.CoverageStats
+
+	RQ1        *analysis.Centralization   // Figs. 4-6
+	Networks   *analysis.NetworkSizes     // Fig. 7
+	Contagion  *analysis.Contagion        // Fig. 8
+	Switching  *analysis.Switching        // Figs. 9-10
+	Daily      *analysis.DailyActivity    // Fig. 11
+	Sources    *analysis.Sources          // Figs. 12-13
+	Overlap    *analysis.Overlap          // Fig. 14
+	Hashtags   *analysis.HashtagTables    // Fig. 15
+	Toxicity   *analysis.ToxicityResult   // Fig. 16
+	Collection *analysis.CollectionSeries // Fig. 2
+	Activity   *analysis.ActivitySeries   // Fig. 3
+	Retention  *analysis.RetentionResult  // §8 future-work extension
+}
+
+// Analyze computes every analysis over a crawled dataset.
+func Analyze(ds *crawler.Dataset, cfg Config) *Result {
+	var scoreFn func(string) float64
+	if !cfg.ScoreToxicity {
+		// Posts were not scored during the crawl; fall back to scoring
+		// locally with the same model the service uses.
+		scoreFn = toxsvc.Score
+	}
+	return &Result{
+		Dataset:    ds,
+		Coverage:   ds.Coverage(),
+		RQ1:        analysis.RQ1(ds),
+		Networks:   analysis.SocialNetworkSizes(ds),
+		Contagion:  analysis.RQ2Contagion(ds),
+		Switching:  analysis.RQ2Switching(ds),
+		Daily:      analysis.Timelines(ds),
+		Sources:    analysis.RQ3Sources(ds),
+		Overlap:    analysis.RQ3Overlap(ds, analysis.OverlapOptions{MaxUsers: cfg.OverlapMaxUsers}),
+		Hashtags:   analysis.RQ3Hashtags(ds),
+		Toxicity:   analysis.RQ3Toxicity(ds, analysis.ToxicityOptions{ScoreFn: scoreFn}),
+		Collection: analysis.CollectionFigure(ds),
+		Activity:   analysis.ActivityFigure(ds),
+		Retention:  analysis.RQ4Retention(ds),
+	}
+}
+
+// Run executes the full pipeline: world, services, crawl, analyses.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	env, err := NewEnv(cfg.World)
+	if err != nil {
+		return nil, fmt.Errorf("core: environment: %w", err)
+	}
+	defer env.Close()
+	ds, err := env.Crawl(ctx, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: crawl: %w", err)
+	}
+	res := Analyze(ds, cfg)
+	res.World = env.World
+	return res, nil
+}

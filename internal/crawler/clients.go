@@ -1,0 +1,316 @@
+// Package crawler implements the paper's data-collection pipeline (§3):
+// instance index fetch, tweet collection, hierarchical account mapping,
+// timeline crawls on both platforms with the §3.2 failure taxonomy,
+// stratified followee sampling (§3.3), weekly-activity crawls and
+// toxicity scoring.
+//
+// The crawler speaks to the platforms exclusively over HTTP. Pointed at
+// the simulated services it reproduces the paper's dataset; pointed at
+// real endpoints (with real hosts and credentials) the same code would
+// crawl the real platforms.
+package crawler
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"flock/internal/httpkit"
+)
+
+// TwitterClient wraps the Twitter v2 endpoints the crawl uses.
+type TwitterClient struct {
+	Base string // e.g. "https://api.birdsite.test"
+	C    *httpkit.Client
+}
+
+// TweetJSON mirrors the v2 tweet payload.
+type TweetJSON struct {
+	ID        string `json:"id"`
+	Text      string `json:"text"`
+	AuthorID  string `json:"author_id"`
+	CreatedAt string `json:"created_at"`
+	Source    string `json:"source"`
+}
+
+// UserJSON mirrors the v2 user payload.
+type UserJSON struct {
+	ID            string `json:"id"`
+	Name          string `json:"name"`
+	Username      string `json:"username"`
+	Description   string `json:"description"`
+	Location      string `json:"location"`
+	URL           string `json:"url"`
+	Verified      bool   `json:"verified"`
+	Protected     bool   `json:"protected"`
+	CreatedAt     string `json:"created_at"`
+	PublicMetrics struct {
+		Followers int `json:"followers_count"`
+		Following int `json:"following_count"`
+		Tweets    int `json:"tweet_count"`
+	} `json:"public_metrics"`
+}
+
+type searchEnvelope struct {
+	Data []TweetJSON `json:"data"`
+	Meta struct {
+		NextToken string `json:"next_token"`
+	} `json:"meta"`
+}
+
+type usersEnvelope struct {
+	Data []UserJSON `json:"data"`
+	Meta struct {
+		NextToken string `json:"next_token"`
+	} `json:"meta"`
+}
+
+type userEnvelope struct {
+	Data *UserJSON `json:"data"`
+}
+
+// SearchAll drains the full-archive search for query in [start, end),
+// up to maxPages pages (0 = unlimited).
+func (t *TwitterClient) SearchAll(ctx context.Context, query string, start, end time.Time, maxPages int) ([]TweetJSON, error) {
+	return httpkit.Paginate(ctx, maxPages, func(ctx context.Context, token string) (httpkit.Page[TweetJSON], error) {
+		q := url.Values{}
+		q.Set("query", query)
+		q.Set("start_time", start.UTC().Format(time.RFC3339))
+		q.Set("end_time", end.UTC().Format(time.RFC3339))
+		q.Set("max_results", "500")
+		if token != "" {
+			q.Set("next_token", token)
+		}
+		var env searchEnvelope
+		if err := t.C.GetJSON(ctx, t.Base+"/2/tweets/search/all?"+q.Encode(), &env); err != nil {
+			return httpkit.Page[TweetJSON]{}, err
+		}
+		return httpkit.Page[TweetJSON]{Items: env.Data, Next: env.Meta.NextToken}, nil
+	})
+}
+
+// UserByID fetches one user.
+func (t *TwitterClient) UserByID(ctx context.Context, id string) (*UserJSON, error) {
+	var env userEnvelope
+	if err := t.C.GetJSON(ctx, t.Base+"/2/users/"+url.PathEscape(id), &env); err != nil {
+		return nil, err
+	}
+	if env.Data == nil {
+		return nil, fmt.Errorf("crawler: user %s: empty payload", id)
+	}
+	return env.Data, nil
+}
+
+// Timeline drains a user's tweets in [start, end).
+func (t *TwitterClient) Timeline(ctx context.Context, id string, start, end time.Time) ([]TweetJSON, error) {
+	return httpkit.Paginate(ctx, 0, func(ctx context.Context, token string) (httpkit.Page[TweetJSON], error) {
+		q := url.Values{}
+		q.Set("start_time", start.UTC().Format(time.RFC3339))
+		q.Set("end_time", end.UTC().Format(time.RFC3339))
+		q.Set("max_results", "100")
+		if token != "" {
+			q.Set("pagination_token", token)
+		}
+		var env searchEnvelope
+		if err := t.C.GetJSON(ctx, t.Base+"/2/users/"+url.PathEscape(id)+"/tweets?"+q.Encode(), &env); err != nil {
+			return httpkit.Page[TweetJSON]{}, err
+		}
+		return httpkit.Page[TweetJSON]{Items: env.Data, Next: env.Meta.NextToken}, nil
+	})
+}
+
+// Following drains a user's followees.
+func (t *TwitterClient) Following(ctx context.Context, id string) ([]UserJSON, error) {
+	return httpkit.Paginate(ctx, 0, func(ctx context.Context, token string) (httpkit.Page[UserJSON], error) {
+		q := url.Values{}
+		q.Set("max_results", "1000")
+		if token != "" {
+			q.Set("pagination_token", token)
+		}
+		var env usersEnvelope
+		if err := t.C.GetJSON(ctx, t.Base+"/2/users/"+url.PathEscape(id)+"/following?"+q.Encode(), &env); err != nil {
+			return httpkit.Page[UserJSON]{}, err
+		}
+		return httpkit.Page[UserJSON]{Items: env.Data, Next: env.Meta.NextToken}, nil
+	})
+}
+
+// MastodonClient wraps the per-instance Mastodon endpoints.
+type MastodonClient struct {
+	C *httpkit.Client
+}
+
+// MastoAccountJSON mirrors the account entity.
+type MastoAccountJSON struct {
+	ID             string            `json:"id"`
+	Username       string            `json:"username"`
+	Acct           string            `json:"acct"`
+	URL            string            `json:"url"`
+	CreatedAt      string            `json:"created_at"`
+	FollowersCount int               `json:"followers_count"`
+	FollowingCount int               `json:"following_count"`
+	StatusesCount  int               `json:"statuses_count"`
+	Moved          *MastoAccountJSON `json:"moved"`
+	AlsoKnownAs    []string          `json:"also_known_as"`
+}
+
+// MastoStatusJSON mirrors the status entity.
+type MastoStatusJSON struct {
+	ID        string           `json:"id"`
+	CreatedAt string           `json:"created_at"`
+	Content   string           `json:"content"`
+	Account   MastoAccountJSON `json:"account"`
+}
+
+// ActivityJSON mirrors the weekly activity entity (string-typed counts).
+type ActivityJSON struct {
+	Week          string `json:"week"`
+	Statuses      string `json:"statuses"`
+	Logins        string `json:"logins"`
+	Registrations string `json:"registrations"`
+}
+
+// Lookup resolves an account by username on a domain.
+func (m *MastodonClient) Lookup(ctx context.Context, domain, username string) (*MastoAccountJSON, error) {
+	var acc MastoAccountJSON
+	u := "https://" + domain + "/api/v1/accounts/lookup?acct=" + url.QueryEscape(username)
+	if err := m.C.GetJSON(ctx, u, &acc); err != nil {
+		return nil, err
+	}
+	return &acc, nil
+}
+
+// Statuses drains an account's statuses via max_id pagination.
+func (m *MastodonClient) Statuses(ctx context.Context, domain, accountID string) ([]MastoStatusJSON, error) {
+	var out []MastoStatusJSON
+	maxID := ""
+	for {
+		u := "https://" + domain + "/api/v1/accounts/" + url.PathEscape(accountID) + "/statuses?limit=40"
+		if maxID != "" {
+			u += "&max_id=" + maxID
+		}
+		var page []MastoStatusJSON
+		if err := m.C.GetJSON(ctx, u, &page); err != nil {
+			return out, err
+		}
+		if len(page) == 0 {
+			return out, nil
+		}
+		out = append(out, page...)
+		maxID = page[len(page)-1].ID
+	}
+}
+
+// Following drains an account's followees via offset cursors.
+func (m *MastodonClient) Following(ctx context.Context, domain, accountID string) ([]MastoAccountJSON, error) {
+	var out []MastoAccountJSON
+	offset := 0
+	for {
+		u := fmt.Sprintf("https://%s/api/v1/accounts/%s/following?limit=80&max_id=%d", domain, url.PathEscape(accountID), offset)
+		var page []MastoAccountJSON
+		if err := m.C.GetJSON(ctx, u, &page); err != nil {
+			return out, err
+		}
+		if len(page) == 0 {
+			return out, nil
+		}
+		out = append(out, page...)
+		offset += 80
+	}
+}
+
+// Activity fetches the weekly activity series.
+func (m *MastodonClient) Activity(ctx context.Context, domain string) ([]ActivityJSON, error) {
+	var out []ActivityJSON
+	if err := m.C.GetJSON(ctx, "https://"+domain+"/api/v1/instance/activity", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// IndexClient wraps the instances.social-style index.
+type IndexClient struct {
+	Base string
+	C    *httpkit.Client
+}
+
+// IndexedInstance is one index row.
+type IndexedInstance struct {
+	Name     string `json:"name"`
+	Users    int    `json:"users"`
+	Statuses int    `json:"statuses"`
+	Up       bool   `json:"up"`
+}
+
+// List fetches the complete instance index.
+func (i *IndexClient) List(ctx context.Context) ([]IndexedInstance, error) {
+	var resp struct {
+		Instances  []IndexedInstance `json:"instances"`
+		Pagination struct {
+			NextPage string `json:"next_page"`
+		} `json:"pagination"`
+	}
+	if err := i.C.GetJSON(ctx, i.Base+"/api/1.0/instances/list?count=0", &resp); err != nil {
+		return nil, err
+	}
+	return resp.Instances, nil
+}
+
+// PerspectiveClient scores text toxicity over HTTP.
+type PerspectiveClient struct {
+	Base string
+	HTTP httpkit.Doer
+}
+
+// Score returns the TOXICITY summary score of text.
+func (p *PerspectiveClient) Score(ctx context.Context, text string) (float64, error) {
+	reqBody, err := json.Marshal(map[string]any{
+		"comment":             map[string]string{"text": text},
+		"requestedAttributes": map[string]any{"TOXICITY": map[string]any{}},
+	})
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.Base+"/v1alpha1/comments:analyze", bytes.NewReader(reqBody))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	doer := p.HTTP
+	if doer == nil {
+		doer = http.DefaultClient
+	}
+	resp, err := doer.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, &httpkit.StatusError{Code: resp.StatusCode, URL: p.Base}
+	}
+	var out struct {
+		AttributeScores map[string]struct {
+			SummaryScore struct {
+				Value float64 `json:"value"`
+			} `json:"summaryScore"`
+		} `json:"attributeScores"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.AttributeScores["TOXICITY"].SummaryScore.Value, nil
+}
+
+// parseUnix converts a unix-seconds string to a time.
+func parseUnix(s string) (time.Time, error) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return time.Time{}, err
+	}
+	return time.Unix(v, 0).UTC(), nil
+}

@@ -1,0 +1,643 @@
+package crawler
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"flock/internal/httpkit"
+	"flock/internal/match"
+	"flock/internal/vclock"
+)
+
+// DefaultKeywords are the §3.1 keyword and hashtag queries, verbatim.
+var DefaultKeywords = []string{
+	"mastodon",
+	`"bye bye twitter"`,
+	`"good bye twitter"`,
+	"#Mastodon",
+	"#MastodonMigration",
+	"#ByeByeTwitter",
+	"#GoodByeTwitter",
+	"#TwitterMigration",
+	"#MastodonSocial",
+	"#RIPTwitter",
+}
+
+// Config parameterizes a crawl.
+type Config struct {
+	// Service endpoints.
+	TwitterBase     string
+	IndexBase       string
+	PerspectiveBase string
+	// HTTP performs all requests (point it at the memnet fabric or a real
+	// network).
+	HTTP httpkit.Doer
+	// Concurrency bounds parallel fetches (default 8).
+	Concurrency int
+	// MaxSearchPages caps pagination per search query (0 = unlimited).
+	MaxSearchPages int
+	// FolloweeSampleFrac is the §3.3 sample size (default 0.10).
+	FolloweeSampleFrac float64
+	// ScoreToxicity enables the §6.3 Perspective pass over every post.
+	ScoreToxicity bool
+	// Keywords overrides DefaultKeywords when non-nil.
+	Keywords []string
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+	// BeforeTimelines runs after discovery+mapping and before the
+	// timeline crawls. The simulation uses it to take instances down at
+	// the point in the crawl where the paper's instance deaths bit
+	// (§3.2's 11.58%).
+	BeforeTimelines func()
+}
+
+// Crawler runs the pipeline.
+type Crawler struct {
+	cfg   Config
+	tw    *TwitterClient
+	masto *MastodonClient
+	index *IndexClient
+	tox   *PerspectiveClient
+}
+
+// New builds a Crawler. The underlying httpkit clients share cfg.HTTP.
+func New(cfg Config) *Crawler {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.FolloweeSampleFrac <= 0 {
+		cfg.FolloweeSampleFrac = 0.10
+	}
+	if cfg.Keywords == nil {
+		cfg.Keywords = DefaultKeywords
+	}
+	mk := func() *httpkit.Client {
+		return &httpkit.Client{
+			HTTP:      cfg.HTTP,
+			UserAgent: "flock-crawler/1.0",
+			Retry:     httpkit.RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second},
+		}
+	}
+	return &Crawler{
+		cfg:   cfg,
+		tw:    &TwitterClient{Base: cfg.TwitterBase, C: mk()},
+		masto: &MastodonClient{C: mk()},
+		index: &IndexClient{Base: cfg.IndexBase, C: mk()},
+		tox:   &PerspectiveClient{Base: cfg.PerspectiveBase, HTTP: cfg.HTTP},
+	}
+}
+
+func (c *Crawler) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Run executes the full §3 pipeline and returns the dataset.
+func (c *Crawler) Run(ctx context.Context) (*Dataset, error) {
+	ds := NewDataset()
+
+	// Phase 1 (§3.1): instance index.
+	instances, err := c.index.List(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("crawler: instance index: %w", err)
+	}
+	ds.Instances = instances
+	c.logf("index: %d instances", len(instances))
+
+	// Phase 2 (§3.1): tweet collection.
+	if err := c.collectTweets(ctx, ds); err != nil {
+		return nil, err
+	}
+	c.logf("collected %d tweets", len(ds.CollectedTweets))
+
+	// Phase 3 (§3.1): account mapping.
+	if err := c.mapAccounts(ctx, ds); err != nil {
+		return nil, err
+	}
+	c.logf("mapped %d account pairs", len(ds.Pairs))
+
+	// Phase 4 (§3.2): timelines on both platforms.
+	if c.cfg.BeforeTimelines != nil {
+		c.cfg.BeforeTimelines()
+	}
+	c.crawlTwitterTimelines(ctx, ds)
+	c.crawlMastodonTimelines(ctx, ds)
+
+	// Phase 5 (§3.3): stratified followee sample.
+	c.crawlFollowees(ctx, ds)
+
+	// Phase 6 (§3.1, Fig. 3): weekly activity.
+	c.crawlActivity(ctx, ds)
+
+	// Phase 7 (§6.3): toxicity scoring.
+	if c.cfg.ScoreToxicity {
+		c.scoreToxicity(ctx, ds)
+	}
+	return ds, nil
+}
+
+// collectTweets runs the instance-link and keyword query families over
+// the collection window and dedups into ds.CollectedTweets.
+func (c *Crawler) collectTweets(ctx context.Context, ds *Dataset) error {
+	start, end := vclock.CollectionStart, vclock.CollectionEnd.Add(24*time.Hour)
+	type hit struct {
+		tweet TweetJSON
+		class QueryClass
+	}
+	var mu sync.Mutex
+	seen := map[string]hit{}
+
+	g := httpkit.NewGroup(c.cfg.Concurrency)
+	run := func(query string, class QueryClass) {
+		g.Go(func() error {
+			tweets, err := c.tw.SearchAll(ctx, query, start, end, c.cfg.MaxSearchPages)
+			if err != nil {
+				return fmt.Errorf("search %q: %w", query, err)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, t := range tweets {
+				prev, dup := seen[t.ID]
+				// Instance-link class wins on dedup: a tweet carrying a
+				// handle link is strictly more informative.
+				if !dup || (prev.class == ClassKeyword && class == ClassInstanceLink) {
+					seen[t.ID] = hit{tweet: t, class: class}
+				}
+			}
+			return nil
+		})
+	}
+	for _, inst := range ds.Instances {
+		run(fmt.Sprintf("url:%q", inst.Name), ClassInstanceLink)
+	}
+	for _, kw := range c.cfg.Keywords {
+		run(kw, ClassKeyword)
+	}
+	if err := g.Wait(); err != nil {
+		return fmt.Errorf("crawler: tweet collection: %w", err)
+	}
+	for _, h := range seen {
+		at, err := time.Parse(time.RFC3339, h.tweet.CreatedAt)
+		if err != nil {
+			continue
+		}
+		ds.CollectedTweets = append(ds.CollectedTweets, CollectedTweet{
+			ID:       h.tweet.ID,
+			AuthorID: h.tweet.AuthorID,
+			Time:     at,
+			Text:     h.tweet.Text,
+			Source:   h.tweet.Source,
+			Class:    h.class,
+		})
+	}
+	sort.Slice(ds.CollectedTweets, func(i, j int) bool {
+		if !ds.CollectedTweets[i].Time.Equal(ds.CollectedTweets[j].Time) {
+			return ds.CollectedTweets[i].Time.Before(ds.CollectedTweets[j].Time)
+		}
+		return ds.CollectedTweets[i].ID < ds.CollectedTweets[j].ID
+	})
+	return nil
+}
+
+// mapAccounts applies §3.1's hierarchical matching to every collected
+// author, then verifies each mapped handle against its instance.
+func (c *Crawler) mapAccounts(ctx context.Context, ds *Dataset) error {
+	known := match.KnownInstances{}
+	for _, inst := range ds.Instances {
+		known[strings.ToLower(inst.Name)] = true
+	}
+	// Group collected tweets per author.
+	byAuthor := map[string][]string{}
+	for _, t := range ds.CollectedTweets {
+		byAuthor[t.AuthorID] = append(byAuthor[t.AuthorID], t.Text)
+	}
+	authors := make([]string, 0, len(byAuthor))
+	for a := range byAuthor {
+		authors = append(authors, a)
+	}
+	sort.Strings(authors)
+
+	var mu sync.Mutex
+	g := httpkit.NewGroup(c.cfg.Concurrency)
+	for _, authorID := range authors {
+		authorID := authorID
+		g.Go(func() error {
+			user, err := c.tw.UserByID(ctx, authorID)
+			if err != nil {
+				// Account gone between collection and mapping: skip.
+				return nil
+			}
+			profile := match.Profile{
+				Username:    user.Username,
+				DisplayName: user.Name,
+				Description: user.Description,
+				Location:    user.Location,
+				URL:         user.URL,
+			}
+			res, ok := match.Map(profile, byAuthor[authorID], known)
+			if !ok {
+				return nil
+			}
+			pair := AccountPair{
+				TwitterID:        user.ID,
+				TwitterUsername:  user.Username,
+				Verified:         user.Verified,
+				TwitterFollowers: user.PublicMetrics.Followers,
+				TwitterFollowing: user.PublicMetrics.Following,
+				Handle:           res.Handle,
+				MatchSource:      res.Source,
+				SameUsername:     strings.EqualFold(user.Username, res.Handle.Username),
+			}
+			if at, err := time.Parse(time.RFC3339, user.CreatedAt); err == nil {
+				pair.TwitterCreatedAt = at
+			}
+			// Verify against the instance and reconstruct the user's
+			// migration chain. Three cases:
+			//  - plain account: no move involved;
+			//  - we found the ABANDONED account (it has a moved record
+			//    pointing forward);
+			//  - we found the DESTINATION account (its also_known_as
+			//    alias points backwards at the first instance).
+			if acc, err := c.masto.Lookup(ctx, res.Handle.Domain, res.Handle.Username); err == nil {
+				pair.MastodonVerified = true
+				pair.MastodonAccountID = acc.ID
+				pair.MastodonFollowers = acc.FollowersCount
+				pair.MastodonFollowing = acc.FollowingCount
+				pair.MastodonStatuses = acc.StatusesCount
+				if at, err := time.Parse(time.RFC3339, acc.CreatedAt); err == nil {
+					pair.MastodonCreatedAt = at
+				}
+				switch {
+				case acc.Moved != nil:
+					moved := &MovedRecord{AccountID: acc.Moved.ID}
+					moved.Handle = handleFromURL(acc.Moved.URL, acc.Moved.Username)
+					if at, err := time.Parse(time.RFC3339, acc.Moved.CreatedAt); err == nil {
+						moved.MovedAt = at
+					}
+					pair.Moved = moved
+					// Counts on the live account are the meaningful ones.
+					pair.MastodonFollowers = acc.Moved.FollowersCount
+					pair.MastodonFollowing = acc.Moved.FollowingCount
+					pair.MastodonStatuses = acc.Moved.StatusesCount
+				case len(acc.AlsoKnownAs) > 0:
+					// We discovered the destination; normalize the pair
+					// so Handle is always the FIRST account.
+					oldHandle := handleFromURL(acc.AlsoKnownAs[0], usernameFromURL(acc.AlsoKnownAs[0]))
+					if old, lerr := c.masto.Lookup(ctx, oldHandle.Domain, oldHandle.Username); lerr == nil {
+						pair.Moved = &MovedRecord{
+							Handle:    res.Handle,
+							AccountID: acc.ID,
+						}
+						if at, perr := time.Parse(time.RFC3339, acc.CreatedAt); perr == nil {
+							pair.Moved.MovedAt = at
+						}
+						pair.Handle = oldHandle
+						pair.MastodonAccountID = old.ID
+						pair.SameUsername = strings.EqualFold(user.Username, oldHandle.Username)
+						if at, perr := time.Parse(time.RFC3339, old.CreatedAt); perr == nil {
+							pair.MastodonCreatedAt = at
+						}
+					}
+				}
+			} else if httpkit.IsStatus(err, 404) {
+				// Handle does not resolve: false-positive mapping, drop.
+				return nil
+			}
+			mu.Lock()
+			ds.Pairs = append(ds.Pairs, pair)
+			mu.Unlock()
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return fmt.Errorf("crawler: account mapping: %w", err)
+	}
+	sort.Slice(ds.Pairs, func(i, j int) bool { return ds.Pairs[i].TwitterID < ds.Pairs[j].TwitterID })
+	return nil
+}
+
+// handleFromURL reconstructs a handle from an account URL plus username.
+func handleFromURL(u, username string) match.Handle {
+	h := match.Handle{Username: username}
+	if rest, ok := strings.CutPrefix(u, "https://"); ok {
+		if i := strings.IndexByte(rest, '/'); i > 0 {
+			h.Domain = rest[:i]
+		}
+	}
+	return h
+}
+
+// usernameFromURL extracts the @user segment of a profile URL.
+func usernameFromURL(u string) string {
+	if i := strings.LastIndex(u, "/@"); i >= 0 {
+		return u[i+2:]
+	}
+	return ""
+}
+
+// crawlTwitterTimelines fetches every pair's tweets with the §3.2
+// failure taxonomy.
+func (c *Crawler) crawlTwitterTimelines(ctx context.Context, ds *Dataset) {
+	start, end := vclock.StudyStart, vclock.StudyEnd.Add(24*time.Hour)
+	var mu sync.Mutex
+	g := httpkit.NewGroup(c.cfg.Concurrency)
+	for i := range ds.Pairs {
+		pair := &ds.Pairs[i]
+		g.Go(func() error {
+			tl := &TwitterTimeline{State: StateOK}
+			tweets, err := c.tw.Timeline(ctx, pair.TwitterID, start, end)
+			if err != nil {
+				switch {
+				case httpkit.IsStatus(err, 404):
+					tl.State = StateDeleted
+				case httpkit.IsStatus(err, 403):
+					tl.State = StateSuspended
+				case httpkit.IsStatus(err, 401):
+					tl.State = StateProtected
+				default:
+					tl.State = StateDeleted
+				}
+			} else {
+				for _, t := range tweets {
+					at, perr := time.Parse(time.RFC3339, t.CreatedAt)
+					if perr != nil {
+						continue
+					}
+					tl.Posts = append(tl.Posts, Post{ID: t.ID, Time: at, Text: t.Text, Source: t.Source, Toxicity: -1})
+				}
+			}
+			mu.Lock()
+			ds.TwitterTimelines[pair.TwitterID] = tl
+			mu.Unlock()
+			return nil
+		})
+	}
+	_ = g.Wait()
+	c.logf("twitter timelines: %d", len(ds.TwitterTimelines))
+}
+
+// crawlMastodonTimelines fetches every pair's statuses, spanning both
+// instances for moved accounts.
+func (c *Crawler) crawlMastodonTimelines(ctx context.Context, ds *Dataset) {
+	var mu sync.Mutex
+	g := httpkit.NewGroup(c.cfg.Concurrency)
+	for i := range ds.Pairs {
+		pair := &ds.Pairs[i]
+		g.Go(func() error {
+			tl := &MastodonTimeline{State: StateOK}
+			fetch := func(domain, accountID string) error {
+				sts, err := c.masto.Statuses(ctx, domain, accountID)
+				if err != nil {
+					return err
+				}
+				for _, s := range sts {
+					at, perr := time.Parse(time.RFC3339, s.CreatedAt)
+					if perr != nil {
+						continue
+					}
+					tl.Posts = append(tl.Posts, Post{ID: s.ID, Time: at, Text: stripHTML(s.Content), Domain: domain, Toxicity: -1})
+				}
+				return nil
+			}
+			var err error
+			if pair.MastodonAccountID != "" {
+				err = fetch(pair.Handle.Domain, pair.MastodonAccountID)
+				if err == nil && pair.Moved != nil {
+					err = fetch(pair.Moved.Handle.Domain, pair.Moved.AccountID)
+				}
+			} else {
+				// Unverified pair: try a fresh lookup (it may have failed
+				// transiently during mapping).
+				acc, lerr := c.masto.Lookup(ctx, pair.Handle.Domain, pair.Handle.Username)
+				if lerr != nil {
+					err = lerr
+				} else {
+					err = fetch(pair.Handle.Domain, acc.ID)
+				}
+			}
+			switch {
+			case err != nil && httpkit.IsStatus(err, 404):
+				tl.State = StateInstanceDown // account vanished
+			case err != nil:
+				tl.State = StateInstanceDown
+			case len(tl.Posts) == 0:
+				tl.State = StateNoStatuses
+			}
+			sort.Slice(tl.Posts, func(a, b int) bool { return tl.Posts[a].Time.Before(tl.Posts[b].Time) })
+			mu.Lock()
+			ds.MastodonTimelines[pair.TwitterID] = tl
+			mu.Unlock()
+			return nil
+		})
+	}
+	_ = g.Wait()
+	c.logf("mastodon timelines: %d", len(ds.MastodonTimelines))
+}
+
+// stripHTML removes the <p> wrapper and entities from status content.
+func stripHTML(s string) string {
+	s = strings.ReplaceAll(s, "<p>", "")
+	s = strings.ReplaceAll(s, "</p>", "\n")
+	s = strings.ReplaceAll(s, "<br>", "\n")
+	s = strings.ReplaceAll(s, "<br/>", "\n")
+	s = strings.ReplaceAll(s, "&amp;", "&")
+	s = strings.ReplaceAll(s, "&lt;", "<")
+	s = strings.ReplaceAll(s, "&gt;", ">")
+	s = strings.ReplaceAll(s, "&#39;", "'")
+	s = strings.ReplaceAll(s, "&#34;", `"`)
+	s = strings.ReplaceAll(s, "&quot;", `"`)
+	return strings.TrimSpace(s)
+}
+
+// crawlFollowees implements §3.3: a stratified sample straddling the
+// median followee count — half the sample from above the median, half
+// from below — then full followee crawls on both platforms.
+func (c *Crawler) crawlFollowees(ctx context.Context, ds *Dataset) {
+	// Eligible: pairs whose Twitter account is crawlable.
+	var eligible []*AccountPair
+	for i := range ds.Pairs {
+		p := &ds.Pairs[i]
+		if tl := ds.TwitterTimelines[p.TwitterID]; tl != nil && tl.State == StateOK {
+			eligible = append(eligible, p)
+		}
+	}
+	if len(eligible) == 0 {
+		return
+	}
+	sort.Slice(eligible, func(i, j int) bool {
+		if eligible[i].TwitterFollowing != eligible[j].TwitterFollowing {
+			return eligible[i].TwitterFollowing < eligible[j].TwitterFollowing
+		}
+		return eligible[i].TwitterID < eligible[j].TwitterID
+	})
+	n := len(eligible)
+	half := int(float64(n) * c.cfg.FolloweeSampleFrac / 2)
+	if half < 1 {
+		half = 1
+	}
+	median := n / 2
+	sample := map[*AccountPair]bool{}
+	// Evenly spaced picks below and above the median: deterministic and
+	// spread across the distribution, which is the point of the
+	// stratification (representativity, §3.3).
+	pick := func(lo, hi, k int) {
+		if hi <= lo {
+			return
+		}
+		span := hi - lo
+		for i := 0; i < k; i++ {
+			idx := lo + (i*span)/k + span/(2*k)
+			if idx >= hi {
+				idx = hi - 1
+			}
+			sample[eligible[idx]] = true
+		}
+	}
+	pick(0, median, half)
+	pick(median, n, half)
+	// All detected switchers join the sample: the §5.3 switch-influence
+	// analysis (Fig. 10) needs their ego networks, and at a 4% switch
+	// rate a plain 10% sample would catch almost none on scaled-down
+	// worlds.
+	for _, p := range eligible {
+		if p.Moved != nil {
+			sample[p] = true
+		}
+	}
+
+	sampled := make([]*AccountPair, 0, len(sample))
+	for p := range sample {
+		sampled = append(sampled, p)
+	}
+	sort.Slice(sampled, func(i, j int) bool { return sampled[i].TwitterID < sampled[j].TwitterID })
+
+	var mu sync.Mutex
+	g := httpkit.NewGroup(c.cfg.Concurrency)
+	for _, p := range sampled {
+		p := p
+		g.Go(func() error {
+			users, err := c.tw.Following(ctx, p.TwitterID)
+			if err != nil {
+				return nil
+			}
+			refs := make([]FolloweeRef, 0, len(users))
+			for _, u := range users {
+				refs = append(refs, FolloweeRef{TwitterID: u.ID, Username: u.Username})
+			}
+			mu.Lock()
+			ds.TwitterFollowees[p.TwitterID] = refs
+			mu.Unlock()
+			// Mastodon following of the live account.
+			domain, accID := p.Handle.Domain, p.MastodonAccountID
+			if p.Moved != nil {
+				domain, accID = p.Moved.Handle.Domain, p.Moved.AccountID
+			}
+			if accID == "" {
+				return nil
+			}
+			accounts, err := c.masto.Following(ctx, domain, accID)
+			if err != nil {
+				return nil
+			}
+			handles := make([]string, 0, len(accounts))
+			for _, a := range accounts {
+				acct := a.Acct
+				if !strings.Contains(acct, "@") {
+					acct = acct + "@" + domain
+				}
+				handles = append(handles, "@"+acct)
+			}
+			mu.Lock()
+			ds.MastodonFollowing[p.TwitterID] = handles
+			mu.Unlock()
+			return nil
+		})
+	}
+	_ = g.Wait()
+	c.logf("followee sample: %d users", len(ds.TwitterFollowees))
+}
+
+// crawlActivity fetches weekly activity for every instance that received
+// a mapped migrant.
+func (c *Crawler) crawlActivity(ctx context.Context, ds *Dataset) {
+	domains := map[string]bool{}
+	for i := range ds.Pairs {
+		domains[ds.Pairs[i].Handle.Domain] = true
+		if ds.Pairs[i].Moved != nil {
+			domains[ds.Pairs[i].Moved.Handle.Domain] = true
+		}
+	}
+	sorted := make([]string, 0, len(domains))
+	for d := range domains {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+
+	var mu sync.Mutex
+	g := httpkit.NewGroup(c.cfg.Concurrency)
+	for _, domain := range sorted {
+		domain := domain
+		g.Go(func() error {
+			acts, err := c.masto.Activity(ctx, domain)
+			if err != nil {
+				return nil // down instances simply drop out
+			}
+			weeks := make([]WeekActivity, 0, len(acts))
+			for _, a := range acts {
+				wk, err := parseUnix(a.Week)
+				if err != nil {
+					continue
+				}
+				st, _ := atoiSafe(a.Statuses)
+				lg, _ := atoiSafe(a.Logins)
+				rg, _ := atoiSafe(a.Registrations)
+				weeks = append(weeks, WeekActivity{Week: wk, Statuses: st, Logins: lg, Registrations: rg})
+			}
+			sort.Slice(weeks, func(i, j int) bool { return weeks[i].Week.Before(weeks[j].Week) })
+			mu.Lock()
+			ds.Activity[domain] = weeks
+			mu.Unlock()
+			return nil
+		})
+	}
+	_ = g.Wait()
+	c.logf("activity: %d instances", len(ds.Activity))
+}
+
+func atoiSafe(s string) (int, error) {
+	var n int
+	_, err := fmt.Sscanf(s, "%d", &n)
+	return n, err
+}
+
+// scoreToxicity labels every crawled post via the Perspective-style
+// service (§6.3).
+func (c *Crawler) scoreToxicity(ctx context.Context, ds *Dataset) {
+	g := httpkit.NewGroup(c.cfg.Concurrency)
+	scorePosts := func(posts []Post) {
+		for i := range posts {
+			i := i
+			g.Go(func() error {
+				v, err := c.tox.Score(ctx, posts[i].Text)
+				if err != nil {
+					return nil // unscored posts keep -1
+				}
+				posts[i].Toxicity = v
+				return nil
+			})
+		}
+	}
+	for _, tl := range ds.TwitterTimelines {
+		scorePosts(tl.Posts)
+	}
+	for _, tl := range ds.MastodonTimelines {
+		scorePosts(tl.Posts)
+	}
+	_ = g.Wait()
+	c.logf("toxicity scoring done")
+}

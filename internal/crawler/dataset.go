@@ -1,0 +1,233 @@
+package crawler
+
+import (
+	"time"
+
+	"flock/internal/match"
+)
+
+// Dataset is everything the crawl collects — the input to every analysis
+// in the paper. All cross-references use Twitter user ID strings; the
+// store package anonymizes them on persistence.
+type Dataset struct {
+	// Instances is the §3.1 index snapshot.
+	Instances []IndexedInstance
+
+	// CollectedTweets is the §3.1 corpus: tweets matching instance links
+	// or migration keywords, deduplicated, with the query class that
+	// found them (Fig. 2).
+	CollectedTweets []CollectedTweet
+
+	// Pairs maps Twitter accounts to Mastodon accounts (§3.1).
+	Pairs []AccountPair
+
+	// TwitterTimelines / MastodonTimelines are the §3.2 crawls, keyed by
+	// Twitter user ID.
+	TwitterTimelines  map[string]*TwitterTimeline
+	MastodonTimelines map[string]*MastodonTimeline
+
+	// TwitterFollowees holds the §3.3 sample: user ID -> followees (the
+	// followees' own metadata included, since the mapping join needs it).
+	TwitterFollowees map[string][]FolloweeRef
+	// MastodonFollowing: user ID -> follow handles on Mastodon.
+	MastodonFollowing map[string][]string
+
+	// Activity is the weekly activity crawl, keyed by instance domain.
+	Activity map[string][]WeekActivity
+}
+
+// QueryClass labels which §3.1 query family found a tweet.
+type QueryClass string
+
+const (
+	// ClassInstanceLink: the tweet contains a link to a known instance.
+	ClassInstanceLink QueryClass = "instance_link"
+	// ClassKeyword: the tweet matched a migration keyword or hashtag.
+	ClassKeyword QueryClass = "keyword"
+)
+
+// CollectedTweet is one row of the collection corpus.
+type CollectedTweet struct {
+	ID       string
+	AuthorID string
+	Time     time.Time
+	Text     string
+	Source   string
+	Class    QueryClass
+}
+
+// AccountPair is one mapped (Twitter, Mastodon) account pair with the
+// lookup metadata both analyses join on.
+type AccountPair struct {
+	TwitterID        string
+	TwitterUsername  string
+	Verified         bool
+	TwitterCreatedAt time.Time
+	TwitterFollowers int
+	TwitterFollowing int
+
+	Handle      match.Handle
+	MatchSource match.Source
+	// SameUsername: Twitter and Mastodon usernames identical (§3.1: 72%).
+	SameUsername bool
+
+	// Fields from the Mastodon account lookup; Verified=false pairs keep
+	// zero values.
+	MastodonVerified  bool // lookup succeeded
+	MastodonAccountID string
+	MastodonCreatedAt time.Time
+	MastodonFollowers int
+	MastodonFollowing int
+	MastodonStatuses  int
+
+	// Moved is non-nil when the first account points at a second one
+	// (§5.3 instance switching).
+	Moved *MovedRecord
+}
+
+// FinalDomain is the domain of the account the user ended up on.
+func (p *AccountPair) FinalDomain() string {
+	if p.Moved != nil {
+		return p.Moved.Handle.Domain
+	}
+	return p.Handle.Domain
+}
+
+// MovedRecord captures an account move.
+type MovedRecord struct {
+	Handle    match.Handle
+	AccountID string
+	// MovedAt is the creation time of the destination account, the
+	// observable proxy for the switch date.
+	MovedAt time.Time
+}
+
+// CrawlState is the §3.2 timeline-crawl outcome taxonomy.
+type CrawlState string
+
+const (
+	// StateOK: timeline collected.
+	StateOK CrawlState = "ok"
+	// StateSuspended / StateDeleted / StateProtected: Twitter failures.
+	StateSuspended CrawlState = "suspended"
+	StateDeleted   CrawlState = "deleted"
+	StateProtected CrawlState = "protected"
+	// StateNoStatuses: Mastodon account exists but never posted.
+	StateNoStatuses CrawlState = "no_statuses"
+	// StateInstanceDown: the Mastodon instance was unreachable.
+	StateInstanceDown CrawlState = "instance_down"
+)
+
+// Post is one crawled post (tweet or status).
+type Post struct {
+	ID   string
+	Time time.Time
+	Text string
+	// Source is the posting client (tweets only).
+	Source string
+	// Domain is the hosting instance (statuses only).
+	Domain string
+	// Toxicity is the Perspective score; negative = not scored.
+	Toxicity float64
+}
+
+// TwitterTimeline is one user's §3.2 Twitter crawl.
+type TwitterTimeline struct {
+	State CrawlState
+	Posts []Post
+}
+
+// MastodonTimeline is one user's §3.2 Mastodon crawl. For switchers the
+// posts span both instances.
+type MastodonTimeline struct {
+	State CrawlState
+	Posts []Post
+}
+
+// FolloweeRef is one followee of a sampled user, with what the mapping
+// join needs.
+type FolloweeRef struct {
+	TwitterID string
+	Username  string
+}
+
+// WeekActivity is one parsed weekly activity bucket.
+type WeekActivity struct {
+	Week          time.Time
+	Statuses      int
+	Logins        int
+	Registrations int
+}
+
+// NewDataset returns an empty dataset with maps initialized.
+func NewDataset() *Dataset {
+	return &Dataset{
+		TwitterTimelines:  map[string]*TwitterTimeline{},
+		MastodonTimelines: map[string]*MastodonTimeline{},
+		TwitterFollowees:  map[string][]FolloweeRef{},
+		MastodonFollowing: map[string][]string{},
+		Activity:          map[string][]WeekActivity{},
+	}
+}
+
+// PairByTwitterID builds the join index analyses use constantly.
+func (d *Dataset) PairByTwitterID() map[string]*AccountPair {
+	m := make(map[string]*AccountPair, len(d.Pairs))
+	for i := range d.Pairs {
+		m[d.Pairs[i].TwitterID] = &d.Pairs[i]
+	}
+	return m
+}
+
+// Stats summarizes crawl coverage (the §3.2 percentages).
+type CoverageStats struct {
+	Pairs             int
+	TwitterOK         int
+	TwitterSuspended  int
+	TwitterDeleted    int
+	TwitterProtected  int
+	MastodonOK        int
+	MastodonSilent    int
+	MastodonDown      int
+	FolloweesSampled  int
+	FolloweeEdges     int
+	InstancesIndexed  int
+	InstancesReceived int // distinct final domains among pairs
+}
+
+// Coverage computes CoverageStats from the dataset.
+func (d *Dataset) Coverage() CoverageStats {
+	st := CoverageStats{Pairs: len(d.Pairs), InstancesIndexed: len(d.Instances)}
+	for _, tl := range d.TwitterTimelines {
+		switch tl.State {
+		case StateOK:
+			st.TwitterOK++
+		case StateSuspended:
+			st.TwitterSuspended++
+		case StateDeleted:
+			st.TwitterDeleted++
+		case StateProtected:
+			st.TwitterProtected++
+		}
+	}
+	for _, tl := range d.MastodonTimelines {
+		switch tl.State {
+		case StateOK:
+			st.MastodonOK++
+		case StateNoStatuses:
+			st.MastodonSilent++
+		case StateInstanceDown:
+			st.MastodonDown++
+		}
+	}
+	st.FolloweesSampled = len(d.TwitterFollowees)
+	for _, fs := range d.TwitterFollowees {
+		st.FolloweeEdges += len(fs)
+	}
+	domains := map[string]bool{}
+	for i := range d.Pairs {
+		domains[d.Pairs[i].FinalDomain()] = true
+	}
+	st.InstancesReceived = len(domains)
+	return st
+}

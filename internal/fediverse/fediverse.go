@@ -1,0 +1,260 @@
+// Package fediverse simulates the federated Mastodon universe the
+// paper crawled (§2, §3):
+//
+//   - one HTTP server per instance (dispatched by Host), each exposing
+//     the Mastodon endpoints the crawl used: instance info, the weekly
+//     activity endpoint, account lookup, account statuses and account
+//     following, plus public timelines (local and federated)
+//   - federation semantics: users registered on one instance follow
+//     users on another; the local instance subscribes on their behalf, so
+//     remote statuses appear in the federated timeline (§2)
+//   - account moves: a user who switches instance leaves behind a
+//     record pointing at the new account, which is how instance switching
+//     (§5.3) is observable to a crawler
+//   - the operational failure the paper hit: whole instances down at
+//     crawl time (handled at the network fabric layer; see RegisterAll)
+//
+// Counts returned by the activity endpoint are JSON strings, matching
+// Mastodon's actual (string-typed) payloads — a detail that bites every
+// real fediverse crawler and is therefore worth reproducing.
+package fediverse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"flock/internal/memnet"
+	"flock/internal/world"
+)
+
+// Account is one Mastodon account: a migrant on a particular instance. A
+// user who switched instances has two Accounts, the first marked moved.
+type Account struct {
+	LocalID  string
+	User     *world.User
+	Instance int
+	// MovedTo points at the user's account on the next instance (nil
+	// unless this account was abandoned in a switch).
+	MovedTo *Account
+	// MovedFrom points back at the abandoned account (Mastodon's
+	// also_known_as alias, which a Move requires).
+	MovedFrom *Account
+	// CreatedAt is the account registration time on this instance.
+	CreatedAt time.Time
+}
+
+// Acct returns the local acct name (username).
+func (a *Account) Acct() string { return a.User.MastodonUsername }
+
+// instanceState is the serving state of one instance.
+type instanceState struct {
+	inst       *world.Instance
+	byUsername map[string]*Account
+	byID       map[string]*Account
+	// localStatuses are statuses posted on this instance, time-ascending
+	// (positions into the owning user's StatusesByUser slice).
+	localStatuses []statusRef
+	// federated are remote statuses subscribed through local follows.
+	federated []statusRef
+}
+
+type statusRef struct {
+	UserID int
+	Idx    int
+}
+
+// Service owns all instance states and the shared handler.
+type Service struct {
+	w       *world.World
+	states  []*instanceState
+	byHost  map[string]*instanceState
+	// accounts indexed by (instance, user) for cross-linking.
+	accounts map[[2]int]*Account
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	limit   int           // requests per window per instance (0 = off)
+	window  time.Duration
+}
+
+type bucket struct {
+	start time.Time
+	count int
+}
+
+// New builds the serving state from the world.
+func New(w *world.World) *Service {
+	s := &Service{
+		w:        w,
+		byHost:   make(map[string]*instanceState),
+		accounts: make(map[[2]int]*Account),
+		buckets:  make(map[string]*bucket),
+		window:   5 * time.Minute,
+	}
+	for _, inst := range w.Instances {
+		st := &instanceState{
+			inst:       inst,
+			byUsername: make(map[string]*Account),
+			byID:       make(map[string]*Account),
+		}
+		s.states = append(s.states, st)
+		if inst.Domain != "" {
+			s.byHost[strings.ToLower(inst.Domain)] = st
+		}
+	}
+
+	// Register accounts: first instance always; second instance if the
+	// user switched, with the first account marked moved.
+	nextID := make([]int, len(w.Instances))
+	register := func(user *world.User, instID int, createdAt time.Time) *Account {
+		st := s.states[instID]
+		nextID[instID]++
+		acc := &Account{
+			LocalID:   fmt.Sprintf("%d", 108000000000000000+int64(instID)*1000000+int64(nextID[instID])),
+			User:      user,
+			Instance:  instID,
+			CreatedAt: createdAt,
+		}
+		st.byUsername[strings.ToLower(user.MastodonUsername)] = acc
+		st.byID[acc.LocalID] = acc
+		s.accounts[[2]int{instID, user.ID}] = acc
+		return acc
+	}
+	for _, uIdx := range w.Migrants {
+		user := w.Users[uIdx]
+		first := register(user, user.FirstInstance, user.MastodonCreatedAt)
+		if user.SecondInstance >= 0 {
+			second := register(user, user.SecondInstance, user.SwitchedAt)
+			first.MovedTo = second
+			second.MovedFrom = first
+		}
+	}
+
+	// Distribute statuses to their instances.
+	for _, uIdx := range w.Migrants {
+		for i, status := range w.StatusesByUser[uIdx] {
+			s.states[status.InstanceID].localStatuses = append(
+				s.states[status.InstanceID].localStatuses, statusRef{UserID: uIdx, Idx: i})
+		}
+	}
+	for _, st := range s.states {
+		sort.Slice(st.localStatuses, func(a, b int) bool {
+			sa, sb := s.status(st.localStatuses[a]), s.status(st.localStatuses[b])
+			if !sa.Time.Equal(sb.Time) {
+				return sa.Time.Before(sb.Time)
+			}
+			return sa.ID < sb.ID
+		})
+	}
+
+	// Federation: an instance subscribes to every remote user a local
+	// account follows; the remote user's statuses flow to the federated
+	// timeline (§2's "union of remote statuses retrieved by all users on
+	// the instance").
+	for i := range s.states {
+		s.buildFederated(i)
+	}
+	return s
+}
+
+func (s *Service) status(ref statusRef) *world.Status {
+	return &s.w.StatusesByUser[ref.UserID][ref.Idx]
+}
+
+// buildFederated computes instance i's federated timeline.
+func (s *Service) buildFederated(i int) {
+	st := s.states[i]
+	subscribed := map[int]bool{} // remote world-user IDs
+	for _, acc := range st.byUsername {
+		if acc.MovedTo != nil {
+			continue // moved-away accounts no longer pull follows here
+		}
+		for _, f := range acc.User.MastodonFollowees {
+			fu := s.w.Users[f]
+			if fu.FinalInstance() != i {
+				subscribed[f] = true
+			}
+		}
+	}
+	for f := range subscribed {
+		fu := s.w.Users[f]
+		for idx, status := range s.w.StatusesByUser[f] {
+			_ = fu
+			if status.InstanceID != i {
+				st.federated = append(st.federated, statusRef{UserID: f, Idx: idx})
+			}
+		}
+	}
+	sort.Slice(st.federated, func(a, b int) bool {
+		sa, sb := s.status(st.federated[a]), s.status(st.federated[b])
+		if !sa.Time.Equal(sb.Time) {
+			return sa.Time.Before(sb.Time)
+		}
+		return sa.ID < sb.ID
+	})
+}
+
+// SetRateLimit enables per-instance rate limiting: n requests per window.
+func (s *Service) SetRateLimit(n int, window time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.limit = n
+	if window > 0 {
+		s.window = window
+	}
+}
+
+// Domains returns all served (claimed) instance domains.
+func (s *Service) Domains() []string {
+	out := make([]string, 0, len(s.byHost))
+	for d := range s.byHost {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AccountFor returns the account of a user on an instance (nil if none).
+func (s *Service) AccountFor(instID, userID int) *Account {
+	return s.accounts[[2]int{instID, userID}]
+}
+
+// RegisterAll serves every instance on the fabric. All instances start
+// reachable; apply the world's outages with ApplyOutages when the
+// simulated crawl reaches the timeline phase (the paper's instance
+// deaths happened between discovery and timeline crawl, §3.2). It
+// returns a stop function.
+func (s *Service) RegisterAll(f *memnet.Fabric) (stop func(), err error) {
+	handler := s.Handler()
+	var stops []func()
+	for _, st := range s.states {
+		if st.inst.Domain == "" {
+			continue
+		}
+		sf, err := f.Serve(st.inst.Domain, handler)
+		if err != nil {
+			for _, fn := range stops {
+				fn()
+			}
+			return nil, err
+		}
+		stops = append(stops, sf)
+	}
+	return func() {
+		for _, fn := range stops {
+			fn()
+		}
+	}, nil
+}
+
+// ApplyOutages takes the world's down instances offline on the fabric.
+func (s *Service) ApplyOutages(f *memnet.Fabric) {
+	for _, st := range s.states {
+		if st.inst.Down && st.inst.Domain != "" {
+			f.SetDown(st.inst.Domain, true)
+		}
+	}
+}

@@ -1,0 +1,449 @@
+// Package httpkit is the HTTP toolkit the flock crawlers are built on.
+//
+// The paper's data collection (§3) leans on two awkward realities of
+// crawling social platforms: server-side rate limits (Twitter's v2 API
+// returns 429 with x-rate-limit-reset; Mastodon returns 429 with
+// X-RateLimit-Reset or Retry-After) and flaky instances (timeouts,
+// transient 5xx, dead hosts). httpkit packages the standard responses to
+// both — client-side token-bucket pacing, reactive backoff that honours
+// server reset headers, capped exponential retry with jitter — behind a
+// small Client, plus cursor/max_id pagination iterators and a bounded
+// concurrency group for fan-out crawls.
+package httpkit
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Doer is the subset of *http.Client the kit needs; tests substitute it.
+type Doer interface {
+	Do(*http.Request) (*http.Response, error)
+}
+
+// StatusError is returned for non-2xx responses that are not retried to
+// success. Body holds up to 4 KiB of the response for diagnostics.
+type StatusError struct {
+	Code int
+	URL  string
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("httpkit: %s returned status %d", e.URL, e.Code)
+}
+
+// IsStatus reports whether err is a StatusError with the given code.
+func IsStatus(err error, code int) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == code
+}
+
+// RetryPolicy controls the retry loop.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt included).
+	MaxAttempts int
+	// BaseDelay is the first backoff step; each retry doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (also caps server-requested waits).
+	MaxDelay time.Duration
+	// JitterFrac adds up to this fraction of random extra delay, spreading
+	// synchronized retries apart. 0 disables jitter.
+	JitterFrac float64
+}
+
+// DefaultRetry is a sane crawl policy: 4 attempts, 250ms base, 30s cap.
+var DefaultRetry = RetryPolicy{MaxAttempts: 4, BaseDelay: 250 * time.Millisecond, MaxDelay: 30 * time.Second, JitterFrac: 0.2}
+
+// delay computes the backoff before attempt i (1-based retry index).
+func (p RetryPolicy) delay(i int, rnd func() float64) time.Duration {
+	d := time.Duration(float64(p.BaseDelay) * math.Pow(2, float64(i-1)))
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.JitterFrac > 0 && rnd != nil {
+		d += time.Duration(rnd() * p.JitterFrac * float64(d))
+	}
+	return d
+}
+
+// Limiter is a token-bucket rate limiter. A zero-value Limiter is
+// unlimited. It is safe for concurrent use.
+type Limiter struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+	sleep  func(context.Context, time.Duration) error
+}
+
+// NewLimiter returns a limiter allowing rate requests per second with the
+// given burst. rate <= 0 means unlimited.
+func NewLimiter(rate float64, burst int) *Limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Limiter{rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+func (l *Limiter) clockNow() time.Time {
+	if l.now != nil {
+		return l.now()
+	}
+	return time.Now()
+}
+
+func (l *Limiter) doSleep(ctx context.Context, d time.Duration) error {
+	if l.sleep != nil {
+		return l.sleep(ctx, d)
+	}
+	return SleepContext(ctx, d)
+}
+
+// Wait blocks until a token is available or ctx is done.
+func (l *Limiter) Wait(ctx context.Context) error {
+	if l == nil || l.rate <= 0 {
+		return ctx.Err()
+	}
+	for {
+		l.mu.Lock()
+		now := l.clockNow()
+		if !l.last.IsZero() {
+			l.tokens += now.Sub(l.last).Seconds() * l.rate
+			if l.tokens > l.burst {
+				l.tokens = l.burst
+			}
+		}
+		l.last = now
+		if l.tokens >= 1 {
+			l.tokens--
+			l.mu.Unlock()
+			return nil
+		}
+		need := (1 - l.tokens) / l.rate
+		l.mu.Unlock()
+		if err := l.doSleep(ctx, time.Duration(need*float64(time.Second))); err != nil {
+			return err
+		}
+	}
+}
+
+// SleepContext sleeps for d or until ctx is done, whichever comes first.
+func SleepContext(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Client wraps a Doer with pacing, retries and rate-limit awareness.
+type Client struct {
+	// HTTP performs the requests; defaults to http.DefaultClient.
+	HTTP Doer
+	// Limiter paces requests client-side; nil means unpaced.
+	Limiter *Limiter
+	// Retry is the retry policy; zero value means DefaultRetry.
+	Retry RetryPolicy
+	// UserAgent is set on every request when non-empty.
+	UserAgent string
+	// Auth, when non-empty, is sent as the Authorization header
+	// ("Bearer <token>" for both platforms' APIs).
+	Auth string
+	// Rand supplies jitter in [0,1); defaults to a fixed mid value for
+	// reproducibility when nil.
+	Rand func() float64
+	// Sleep is the wait function, overridable in tests. Defaults to
+	// SleepContext.
+	Sleep func(context.Context, time.Duration) error
+
+	// stats
+	mu       sync.Mutex
+	requests int
+	retries  int
+	limited  int
+}
+
+// Stats reports counters accumulated by the client.
+type Stats struct {
+	Requests    int // requests attempted (including retries)
+	Retries     int // retried attempts
+	RateLimited int // 429 responses observed
+}
+
+// Stats returns a snapshot of client counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Requests: c.requests, Retries: c.retries, RateLimited: c.limited}
+}
+
+func (c *Client) doer() Doer {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) policy() RetryPolicy {
+	if c.Retry.MaxAttempts <= 0 {
+		return DefaultRetry
+	}
+	return c.Retry
+}
+
+func (c *Client) rnd() float64 {
+	if c.Rand != nil {
+		return c.Rand()
+	}
+	return 0.5
+}
+
+func (c *Client) wait(ctx context.Context, d time.Duration) error {
+	if c.Sleep != nil {
+		return c.Sleep(ctx, d)
+	}
+	return SleepContext(ctx, d)
+}
+
+// retryAfter extracts a server-requested wait from 429/503 responses:
+// Retry-After (seconds) or x-rate-limit-reset (unix epoch), the two
+// conventions Twitter and Mastodon use.
+func retryAfter(resp *http.Response, now time.Time) (time.Duration, bool) {
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second, true
+		}
+		if at, err := http.ParseTime(v); err == nil {
+			return at.Sub(now), true
+		}
+	}
+	for _, h := range []string{"x-rate-limit-reset", "X-RateLimit-Reset"} {
+		if v := resp.Header.Get(h); v != "" {
+			if epochSecs, err := strconv.ParseInt(v, 10, 64); err == nil {
+				return time.Unix(epochSecs, 0).Sub(now), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// retryable reports whether a response status is worth retrying.
+func retryable(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests,
+		http.StatusInternalServerError,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// Do performs req with pacing and retries. The caller owns the response
+// body on success. Non-2xx terminal responses become *StatusError.
+func (c *Client) Do(req *http.Request) (*http.Response, error) {
+	policy := c.policy()
+	var lastErr error
+	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			c.mu.Lock()
+			c.retries++
+			c.mu.Unlock()
+		}
+		if c.Limiter != nil {
+			if err := c.Limiter.Wait(req.Context()); err != nil {
+				return nil, err
+			}
+		}
+		r := req.Clone(req.Context())
+		if c.UserAgent != "" {
+			r.Header.Set("User-Agent", c.UserAgent)
+		}
+		if c.Auth != "" {
+			r.Header.Set("Authorization", c.Auth)
+		}
+		c.mu.Lock()
+		c.requests++
+		c.mu.Unlock()
+		resp, err := c.doer().Do(r)
+		if err != nil {
+			lastErr = err
+			if req.Context().Err() != nil {
+				return nil, req.Context().Err()
+			}
+			if attempt < policy.MaxAttempts {
+				if werr := c.wait(req.Context(), policy.delay(attempt, c.rnd)); werr != nil {
+					return nil, werr
+				}
+				continue
+			}
+			return nil, fmt.Errorf("httpkit: %s %s failed after %d attempts: %w", req.Method, req.URL, attempt, err)
+		}
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			return resp, nil
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			c.mu.Lock()
+			c.limited++
+			c.mu.Unlock()
+		}
+		if retryable(resp.StatusCode) && attempt < policy.MaxAttempts {
+			d, ok := retryAfter(resp, time.Now())
+			if !ok {
+				d = policy.delay(attempt, c.rnd)
+			}
+			if d < 0 {
+				d = 0
+			}
+			if d > policy.MaxDelay {
+				d = policy.MaxDelay
+			}
+			if werr := c.wait(req.Context(), d); werr != nil {
+				return nil, werr
+			}
+			lastErr = &StatusError{Code: resp.StatusCode, URL: req.URL.String(), Body: string(body)}
+			continue
+		}
+		return nil, &StatusError{Code: resp.StatusCode, URL: req.URL.String(), Body: string(body)}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("httpkit: retries exhausted")
+	}
+	return nil, lastErr
+}
+
+// GetJSON fetches u and decodes the JSON response into out.
+func (c *Client) GetJSON(ctx context.Context, u string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	if err := dec.Decode(out); err != nil {
+		return fmt.Errorf("httpkit: decoding %s: %w", u, err)
+	}
+	return nil
+}
+
+// BuildURL assembles scheme://host/path?query from parts, escaping query
+// values.
+func BuildURL(scheme, host, path string, query url.Values) string {
+	u := url.URL{Scheme: scheme, Host: host, Path: path}
+	if len(query) > 0 {
+		u.RawQuery = query.Encode()
+	}
+	return u.String()
+}
+
+// Page is one page of a paginated fetch: the decoded items plus the token
+// for the next page ("" when exhausted).
+type Page[T any] struct {
+	Items []T
+	Next  string
+}
+
+// FetchPage is the page-fetching callback used by Paginate.
+type FetchPage[T any] func(ctx context.Context, pageToken string) (Page[T], error)
+
+// Paginate drains a cursor-paginated endpoint, calling fetch until the
+// next token is empty or maxPages is reached (0 = unlimited). It returns
+// all items in order.
+func Paginate[T any](ctx context.Context, maxPages int, fetch FetchPage[T]) ([]T, error) {
+	var out []T
+	token := ""
+	for page := 0; maxPages == 0 || page < maxPages; page++ {
+		p, err := fetch(ctx, token)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p.Items...)
+		if p.Next == "" {
+			return out, nil
+		}
+		if p.Next == token {
+			return out, fmt.Errorf("httpkit: pagination stuck on token %q", token)
+		}
+		token = p.Next
+	}
+	return out, nil
+}
+
+// Group runs tasks with bounded concurrency, collecting the first error
+// but letting remaining tasks finish (a crawl wants maximal coverage, not
+// fail-fast).
+type Group struct {
+	sem  chan struct{}
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	errs []error
+}
+
+// NewGroup returns a Group running at most n tasks at once.
+func NewGroup(n int) *Group {
+	if n < 1 {
+		n = 1
+	}
+	return &Group{sem: make(chan struct{}, n)}
+}
+
+// Go schedules fn. It blocks if the concurrency limit is reached.
+func (g *Group) Go(fn func() error) {
+	g.wg.Add(1)
+	g.sem <- struct{}{}
+	go func() {
+		defer func() {
+			<-g.sem
+			g.wg.Done()
+		}()
+		if err := fn(); err != nil {
+			g.mu.Lock()
+			g.errs = append(g.errs, err)
+			g.mu.Unlock()
+		}
+	}()
+}
+
+// Wait blocks until all scheduled tasks finish and returns the collected
+// errors joined (nil if none failed).
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.errs) == 0 {
+		return nil
+	}
+	return errors.Join(g.errs...)
+}
+
+// Errs returns how many tasks have failed so far.
+func (g *Group) Errs() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.errs)
+}

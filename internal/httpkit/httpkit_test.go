@@ -1,0 +1,438 @@
+package httpkit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeDoer scripts responses for the client under test.
+type fakeDoer struct {
+	mu    sync.Mutex
+	calls int
+	fn    func(call int, req *http.Request) (*http.Response, error)
+}
+
+func (f *fakeDoer) Do(req *http.Request) (*http.Response, error) {
+	f.mu.Lock()
+	f.calls++
+	n := f.calls
+	f.mu.Unlock()
+	return f.fn(n, req)
+}
+
+func respond(code int, body string, hdr map[string]string) *http.Response {
+	h := http.Header{}
+	for k, v := range hdr {
+		h.Set(k, v)
+	}
+	return &http.Response{
+		StatusCode: code,
+		Header:     h,
+		Body:       io.NopCloser(strings.NewReader(body)),
+	}
+}
+
+func noSleep(ctx context.Context, d time.Duration) error { return ctx.Err() }
+
+func TestDoSuccess(t *testing.T) {
+	c := &Client{
+		HTTP: &fakeDoer{fn: func(_ int, _ *http.Request) (*http.Response, error) {
+			return respond(200, "ok", nil), nil
+		}},
+		Sleep: noSleep,
+	}
+	req, _ := http.NewRequest("GET", "https://x.example/", nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("body %q", body)
+	}
+	if s := c.Stats(); s.Requests != 1 || s.Retries != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestDoRetriesTransient5xx(t *testing.T) {
+	fd := &fakeDoer{fn: func(call int, _ *http.Request) (*http.Response, error) {
+		if call < 3 {
+			return respond(503, "unavailable", nil), nil
+		}
+		return respond(200, "finally", nil), nil
+	}}
+	c := &Client{HTTP: fd, Sleep: noSleep}
+	req, _ := http.NewRequest("GET", "https://x.example/", nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if fd.calls != 3 {
+		t.Fatalf("calls = %d, want 3", fd.calls)
+	}
+	if s := c.Stats(); s.Retries != 2 {
+		t.Fatalf("retries = %d", s.Retries)
+	}
+}
+
+func TestDoHonours429ResetHeader(t *testing.T) {
+	var slept []time.Duration
+	fd := &fakeDoer{fn: func(call int, _ *http.Request) (*http.Response, error) {
+		if call == 1 {
+			return respond(429, "rate limited", map[string]string{
+				"x-rate-limit-reset": strconv.FormatInt(time.Now().Add(2*time.Second).Unix(), 10),
+			}), nil
+		}
+		return respond(200, "ok", nil), nil
+	}}
+	c := &Client{HTTP: fd, Sleep: func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}}
+	req, _ := http.NewRequest("GET", "https://x.example/", nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(slept) != 1 {
+		t.Fatalf("slept %v times", len(slept))
+	}
+	if slept[0] < 500*time.Millisecond || slept[0] > 3*time.Second {
+		t.Fatalf("slept %v, want about 2s", slept[0])
+	}
+	if c.Stats().RateLimited != 1 {
+		t.Fatal("429 not counted")
+	}
+}
+
+func TestDoHonoursRetryAfterSeconds(t *testing.T) {
+	var slept time.Duration
+	fd := &fakeDoer{fn: func(call int, _ *http.Request) (*http.Response, error) {
+		if call == 1 {
+			return respond(429, "", map[string]string{"Retry-After": "3"}), nil
+		}
+		return respond(200, "ok", nil), nil
+	}}
+	c := &Client{HTTP: fd, Sleep: func(ctx context.Context, d time.Duration) error {
+		slept = d
+		return nil
+	}}
+	req, _ := http.NewRequest("GET", "https://x.example/", nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if slept != 3*time.Second {
+		t.Fatalf("slept %v, want 3s", slept)
+	}
+}
+
+func TestDoTerminal404(t *testing.T) {
+	fd := &fakeDoer{fn: func(_ int, _ *http.Request) (*http.Response, error) {
+		return respond(404, "not found", nil), nil
+	}}
+	c := &Client{HTTP: fd, Sleep: noSleep}
+	req, _ := http.NewRequest("GET", "https://x.example/missing", nil)
+	_, err := c.Do(req)
+	if !IsStatus(err, 404) {
+		t.Fatalf("err = %v, want 404 StatusError", err)
+	}
+	if fd.calls != 1 {
+		t.Fatalf("404 was retried %d times", fd.calls)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Body != "not found" {
+		t.Fatalf("StatusError body missing: %+v", se)
+	}
+}
+
+func TestDoExhaustsRetries(t *testing.T) {
+	fd := &fakeDoer{fn: func(_ int, _ *http.Request) (*http.Response, error) {
+		return respond(500, "boom", nil), nil
+	}}
+	c := &Client{HTTP: fd, Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}, Sleep: noSleep}
+	req, _ := http.NewRequest("GET", "https://x.example/", nil)
+	_, err := c.Do(req)
+	if !IsStatus(err, 500) {
+		t.Fatalf("err = %v", err)
+	}
+	if fd.calls != 3 {
+		t.Fatalf("calls = %d, want 3", fd.calls)
+	}
+}
+
+func TestDoNetworkErrorRetried(t *testing.T) {
+	fd := &fakeDoer{fn: func(call int, _ *http.Request) (*http.Response, error) {
+		if call == 1 {
+			return nil, errors.New("connection reset")
+		}
+		return respond(200, "ok", nil), nil
+	}}
+	c := &Client{HTTP: fd, Sleep: noSleep}
+	req, _ := http.NewRequest("GET", "https://x.example/", nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+func TestDoContextCancelStopsRetry(t *testing.T) {
+	fd := &fakeDoer{fn: func(_ int, _ *http.Request) (*http.Response, error) {
+		return respond(503, "", nil), nil
+	}}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Client{HTTP: fd, Sleep: func(ctx context.Context, d time.Duration) error {
+		cancel()
+		return ctx.Err()
+	}}
+	req, _ := http.NewRequestWithContext(ctx, "GET", "https://x.example/", nil)
+	_, err := c.Do(req)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAuthAndUserAgentHeaders(t *testing.T) {
+	var gotAuth, gotUA string
+	fd := &fakeDoer{fn: func(_ int, req *http.Request) (*http.Response, error) {
+		gotAuth = req.Header.Get("Authorization")
+		gotUA = req.Header.Get("User-Agent")
+		return respond(200, "{}", nil), nil
+	}}
+	c := &Client{HTTP: fd, Auth: "Bearer token123", UserAgent: "flock/1.0", Sleep: noSleep}
+	var out map[string]any
+	if err := c.GetJSON(context.Background(), "https://x.example/api", &out); err != nil {
+		t.Fatal(err)
+	}
+	if gotAuth != "Bearer token123" || gotUA != "flock/1.0" {
+		t.Fatalf("headers auth=%q ua=%q", gotAuth, gotUA)
+	}
+}
+
+func TestGetJSONDecodes(t *testing.T) {
+	fd := &fakeDoer{fn: func(_ int, _ *http.Request) (*http.Response, error) {
+		return respond(200, `{"name":"mastodon.social","users":100}`, nil), nil
+	}}
+	c := &Client{HTTP: fd, Sleep: noSleep}
+	var out struct {
+		Name  string `json:"name"`
+		Users int    `json:"users"`
+	}
+	if err := c.GetJSON(context.Background(), "https://x.example/", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "mastodon.social" || out.Users != 100 {
+		t.Fatalf("decoded %+v", out)
+	}
+}
+
+func TestGetJSONBadJSON(t *testing.T) {
+	fd := &fakeDoer{fn: func(_ int, _ *http.Request) (*http.Response, error) {
+		return respond(200, `{"name":`, nil), nil
+	}}
+	c := &Client{HTTP: fd, Sleep: noSleep}
+	var out map[string]any
+	if err := c.GetJSON(context.Background(), "https://x.example/", &out); err == nil {
+		t.Fatal("bad JSON decoded without error")
+	}
+}
+
+func TestLimiterPacing(t *testing.T) {
+	l := NewLimiter(100, 1)
+	var slept time.Duration
+	l.sleep = func(ctx context.Context, d time.Duration) error {
+		slept += d
+		l.now = func() time.Time { return time.Now().Add(slept) }
+		return nil
+	}
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if err := l.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 5 requests at 100/s with burst 1 needs about 40ms of waiting.
+	if slept < 20*time.Millisecond || slept > 100*time.Millisecond {
+		t.Fatalf("slept %v", slept)
+	}
+}
+
+func TestLimiterBurst(t *testing.T) {
+	l := NewLimiter(1, 3)
+	sleeps := 0
+	l.sleep = func(ctx context.Context, d time.Duration) error {
+		sleeps++
+		l.now = func() time.Time { return time.Now().Add(time.Duration(sleeps) * time.Second) }
+		return nil
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := l.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sleeps != 0 {
+		t.Fatalf("burst of 3 slept %d times", sleeps)
+	}
+}
+
+func TestNilLimiterUnlimited(t *testing.T) {
+	var l *Limiter
+	if err := l.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaginate(t *testing.T) {
+	pages := map[string]Page[int]{
+		"":  {Items: []int{1, 2}, Next: "p2"},
+		"p2": {Items: []int{3}, Next: "p3"},
+		"p3": {Items: []int{4, 5}, Next: ""},
+	}
+	got, err := Paginate(context.Background(), 0, func(_ context.Context, tok string) (Page[int], error) {
+		return pages[tok], nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[1 2 3 4 5]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPaginateMaxPages(t *testing.T) {
+	calls := 0
+	got, err := Paginate(context.Background(), 2, func(_ context.Context, tok string) (Page[int], error) {
+		calls++
+		return Page[int]{Items: []int{calls}, Next: fmt.Sprintf("p%d", calls)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 || len(got) != 2 {
+		t.Fatalf("calls=%d items=%v", calls, got)
+	}
+}
+
+func TestPaginateStuckToken(t *testing.T) {
+	_, err := Paginate(context.Background(), 0, func(_ context.Context, tok string) (Page[int], error) {
+		return Page[int]{Next: "same"}, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "stuck") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPaginatePartialOnError(t *testing.T) {
+	got, err := Paginate(context.Background(), 0, func(_ context.Context, tok string) (Page[int], error) {
+		if tok == "" {
+			return Page[int]{Items: []int{1}, Next: "p2"}, nil
+		}
+		return Page[int]{}, errors.New("boom")
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if len(got) != 1 {
+		t.Fatalf("partial items lost: %v", got)
+	}
+}
+
+func TestGroupBoundedConcurrency(t *testing.T) {
+	g := NewGroup(3)
+	var cur, peak int64
+	for i := 0; i < 20; i++ {
+		g.Go(func() error {
+			n := atomic.AddInt64(&cur, 1)
+			for {
+				p := atomic.LoadInt64(&peak)
+				if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			atomic.AddInt64(&cur, -1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if peak > 3 {
+		t.Fatalf("peak concurrency %d > 3", peak)
+	}
+}
+
+func TestGroupCollectsErrors(t *testing.T) {
+	g := NewGroup(2)
+	for i := 0; i < 5; i++ {
+		i := i
+		g.Go(func() error {
+			if i%2 == 0 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+	}
+	err := g.Wait()
+	if err == nil {
+		t.Fatal("want joined error")
+	}
+	if g.Errs() != 3 {
+		t.Fatalf("Errs = %d, want 3", g.Errs())
+	}
+}
+
+func TestBuildURL(t *testing.T) {
+	q := url.Values{}
+	q.Set("query", `url:"mastodon.social" has:links`)
+	q.Set("max_results", "100")
+	u := BuildURL("https", "api.twitter.example", "/2/tweets/search/all", q)
+	parsed, err := url.Parse(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Host != "api.twitter.example" || parsed.Path != "/2/tweets/search/all" {
+		t.Fatalf("url = %s", u)
+	}
+	if parsed.Query().Get("query") != `url:"mastodon.social" has:links` {
+		t.Fatalf("query roundtrip failed: %s", parsed.Query().Get("query"))
+	}
+}
+
+func TestRetryPolicyDelayCapped(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10, BaseDelay: time.Second, MaxDelay: 4 * time.Second}
+	if d := p.delay(1, nil); d != time.Second {
+		t.Fatalf("delay(1) = %v", d)
+	}
+	if d := p.delay(2, nil); d != 2*time.Second {
+		t.Fatalf("delay(2) = %v", d)
+	}
+	if d := p.delay(8, nil); d != 4*time.Second {
+		t.Fatalf("delay(8) = %v, want cap", d)
+	}
+}
+
+func TestRetryPolicyJitter(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Second, MaxDelay: time.Minute, JitterFrac: 0.5}
+	d := p.delay(1, func() float64 { return 1.0 })
+	if d <= time.Second || d > 1500*time.Millisecond {
+		t.Fatalf("jittered delay = %v", d)
+	}
+}

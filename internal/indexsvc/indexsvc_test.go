@@ -1,0 +1,130 @@
+package indexsvc
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"flock/internal/world"
+)
+
+func newService(t *testing.T) (*world.World, *Service, *httptest.Server) {
+	t.Helper()
+	cfg := world.DefaultConfig(150)
+	cfg.Seed = 3
+	w, err := world.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(w)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return w, s, srv
+}
+
+func fetch(t *testing.T, url string) (ListResponse, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lr ListResponse
+	if resp.StatusCode == 200 {
+		if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return lr, resp
+}
+
+func TestListAll(t *testing.T) {
+	w, s, srv := newService(t)
+	lr, _ := fetch(t, srv.URL+"/api/1.0/instances/list?count=0")
+	if len(lr.Instances) != s.Len() {
+		t.Fatalf("listed %d, service has %d", len(lr.Instances), s.Len())
+	}
+	if lr.Pagination.Total != s.Len() {
+		t.Fatal("total mismatch")
+	}
+	// Claimed instances (with domains) should all be present.
+	named := 0
+	for _, inst := range w.Instances {
+		if inst.Domain != "" {
+			named++
+		}
+	}
+	if len(lr.Instances) != named {
+		t.Fatalf("listed %d, world has %d named", len(lr.Instances), named)
+	}
+}
+
+func TestListSortedByUsers(t *testing.T) {
+	_, _, srv := newService(t)
+	lr, _ := fetch(t, srv.URL+"/api/1.0/instances/list?count=0")
+	for i := 1; i < len(lr.Instances); i++ {
+		if lr.Instances[i].Users > lr.Instances[i-1].Users {
+			t.Fatal("not sorted by users desc")
+		}
+	}
+	if lr.Instances[0].Name != "mastodon.social" {
+		t.Fatalf("largest instance is %q", lr.Instances[0].Name)
+	}
+}
+
+func TestListPagination(t *testing.T) {
+	_, s, srv := newService(t)
+	seen := map[string]bool{}
+	page := 0
+	for {
+		lr, _ := fetch(t, srv.URL+"/api/1.0/instances/list?count=10&page="+strconv.Itoa(page))
+		for _, inst := range lr.Instances {
+			if seen[inst.Name] {
+				t.Fatalf("instance %q duplicated across pages", inst.Name)
+			}
+			seen[inst.Name] = true
+		}
+		if lr.Pagination.NextPage == "" {
+			break
+		}
+		page++
+		if page > 1000 {
+			t.Fatal("runaway pagination")
+		}
+	}
+	if len(seen) != s.Len() {
+		t.Fatalf("pagination covered %d of %d", len(seen), s.Len())
+	}
+}
+
+func TestDownFlagged(t *testing.T) {
+	w, _, srv := newService(t)
+	lr, _ := fetch(t, srv.URL+"/api/1.0/instances/list?count=0")
+	downWorld := 0
+	for _, inst := range w.Instances {
+		if inst.Down && inst.Domain != "" {
+			downWorld++
+		}
+	}
+	downListed := 0
+	for _, inst := range lr.Instances {
+		if !inst.Up {
+			downListed++
+		}
+	}
+	if downWorld != downListed {
+		t.Fatalf("down: world %d vs listed %d", downWorld, downListed)
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	_, _, srv := newService(t)
+	for _, q := range []string{"?count=abc", "?page=-1&count=5"} {
+		_, resp := fetch(t, srv.URL+"/api/1.0/instances/list"+q)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("query %q: status %d", q, resp.StatusCode)
+		}
+	}
+}

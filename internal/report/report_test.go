@@ -1,0 +1,102 @@
+package report
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"flock/internal/core"
+)
+
+var cached *core.Result
+
+func result(t testing.TB) *core.Result {
+	if cached != nil {
+		return cached
+	}
+	cfg := core.DefaultConfig(150)
+	cfg.World.Seed = 13
+	cfg.ScoreToxicity = false // keep report tests quick; local scoring
+	res, err := core.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached = res
+	return res
+}
+
+func TestAllFiguresRender(t *testing.T) {
+	res := result(t)
+	for n := 1; n <= 16; n++ {
+		out := Figure(res, n)
+		if len(out) < 40 {
+			t.Errorf("figure %d rendered only %d bytes:\n%s", n, len(out), out)
+		}
+		if !strings.Contains(out, "Figure") {
+			t.Errorf("figure %d missing caption", n)
+		}
+	}
+	if Figure(res, 99) != "" {
+		t.Error("unknown figure number rendered")
+	}
+}
+
+func TestSummaryHasAllRows(t *testing.T) {
+	res := result(t)
+	rows := SummaryRows(res)
+	if len(rows) < 20 {
+		t.Fatalf("only %d summary rows", len(rows))
+	}
+	out := Summary(res)
+	for _, row := range rows {
+		if !strings.Contains(out, row.Name) {
+			t.Errorf("summary missing row %q", row.Name)
+		}
+	}
+	if !strings.Contains(out, "paper") || !strings.Contains(out, "measured") {
+		t.Error("summary header missing")
+	}
+}
+
+func TestAllIncludesEverySection(t *testing.T) {
+	res := result(t)
+	out := All(res)
+	for _, want := range []string{
+		"Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5",
+		"Figure 6", "Figure 7", "Figure 8", "Figure 9", "Figure 10",
+		"Figure 11", "Figure 12", "Figure 13", "Figure 14", "Figure 15",
+		"Figure 16", "Paper vs measured",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("All() missing %q", want)
+		}
+	}
+}
+
+func TestFig5MentionsHeadline(t *testing.T) {
+	res := result(t)
+	out := Fig5TopShare(res.RQ1)
+	if !strings.Contains(out, "top 25% hold") {
+		t.Error("Fig5 headline missing")
+	}
+}
+
+func TestFig12MarksCrossposters(t *testing.T) {
+	res := result(t)
+	out := Fig12Sources(res.Sources)
+	if !strings.Contains(out, "cross-poster") {
+		t.Error("Fig12 does not mark bridge sources")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if bar(5, 10, 10) != "█████" {
+		t.Fatalf("bar = %q", bar(5, 10, 10))
+	}
+	if bar(20, 10, 10) != "██████████" {
+		t.Fatal("bar not clamped")
+	}
+	if bar(1, 0, 10) != "" {
+		t.Fatal("bar with zero max")
+	}
+}

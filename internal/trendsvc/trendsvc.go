@@ -1,0 +1,128 @@
+// Package trendsvc simulates the Google Trends search-interest series
+// behind Fig. 1: daily interest (0-100 normalized to the window peak) for
+// "Twitter alternatives", "Mastodon", "Koo" and "Hive Social", with the
+// spike structure the paper shows — a jump the day after the takeover
+// and echoes at the layoffs and the ultimatum.
+package trendsvc
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"flock/internal/vclock"
+)
+
+// Host is the hostname the service binds on the fabric.
+const Host = "trends.test"
+
+// Point is one day of interest.
+type Point struct {
+	Date     string `json:"date"` // YYYY-MM-DD
+	Interest int    `json:"interest"`
+}
+
+// SeriesResponse is the /trends/api/series payload.
+type SeriesResponse struct {
+	Term   string  `json:"term"`
+	Points []Point `json:"points"`
+}
+
+// terms maps supported search terms to their response profile:
+// base level, takeover spike multiplier, persistence.
+var terms = map[string]struct {
+	base    float64
+	spike   float64
+	persist float64 // how much post-spike interest persists
+}{
+	"twitter alternatives": {base: 2, spike: 100, persist: 0.18},
+	"mastodon":             {base: 5, spike: 100, persist: 0.45},
+	"koo":                  {base: 3, spike: 38, persist: 0.20},
+	"hive social":          {base: 1, spike: 30, persist: 0.30},
+}
+
+// Terms lists the supported search terms.
+func Terms() []string {
+	return []string{"twitter alternatives", "mastodon", "koo", "hive social"}
+}
+
+// Series computes the daily interest series for a term over the study
+// window. Unknown terms return nil.
+func Series(term string) []Point {
+	prof, ok := terms[strings.ToLower(term)]
+	if !ok {
+		return nil
+	}
+	spikeDay := vclock.Day(vclock.Takeover) + 1 // paper: spike on Oct 28
+	layoffsDay := vclock.Day(vclock.Layoffs)
+	ultimatumDay := vclock.Day(vclock.Ultimatum)
+
+	raw := make([]float64, vclock.StudyDays)
+	for d := range raw {
+		v := prof.base
+		v += bump(d, spikeDay, 3.2, prof.spike)
+		v += bump(d, layoffsDay, 3.0, prof.spike*0.45)
+		v += bump(d, ultimatumDay, 3.5, prof.spike*0.40)
+		if d > spikeDay {
+			v += prof.spike * prof.persist * math.Exp(-float64(d-spikeDay)/25)
+		}
+		raw[d] = v
+	}
+	// Normalize to 0-100 like Trends.
+	peak := 0.0
+	for _, v := range raw {
+		if v > peak {
+			peak = v
+		}
+	}
+	pts := make([]Point, vclock.StudyDays)
+	for d, v := range raw {
+		pts[d] = Point{
+			Date:     vclock.DayStart(d).Format("2006-01-02"),
+			Interest: int(math.Round(100 * v / peak)),
+		}
+	}
+	return pts
+}
+
+// bump is an asymmetric spike: sharp rise at day0, exponential decay.
+func bump(d, day0 int, tau, height float64) float64 {
+	if d < day0 {
+		return 0
+	}
+	return height * math.Exp(-float64(d-day0)/tau)
+}
+
+// Handler serves GET /trends/api/series?term=X.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /trends/api/series", func(w http.ResponseWriter, r *http.Request) {
+		term := r.URL.Query().Get("term")
+		pts := Series(term)
+		if pts == nil {
+			http.Error(w, `{"error":"unknown term"}`, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(SeriesResponse{Term: strings.ToLower(term), Points: pts})
+	})
+	return mux
+}
+
+// PeakDate returns the date of a term's peak interest, for tests and the
+// Fig. 1 renderer.
+func PeakDate(term string) (time.Time, bool) {
+	pts := Series(term)
+	if pts == nil {
+		return time.Time{}, false
+	}
+	best, bestI := 0, -1
+	for i, p := range pts {
+		if p.Interest > best {
+			best, bestI = p.Interest, i
+		}
+	}
+	return vclock.DayStart(bestI), bestI >= 0
+}

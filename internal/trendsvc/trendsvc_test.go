@@ -1,0 +1,96 @@
+package trendsvc
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"flock/internal/vclock"
+)
+
+func TestSeriesShape(t *testing.T) {
+	for _, term := range Terms() {
+		pts := Series(term)
+		if len(pts) != vclock.StudyDays {
+			t.Fatalf("%s: %d points", term, len(pts))
+		}
+		peak := 0
+		for _, p := range pts {
+			if p.Interest < 0 || p.Interest > 100 {
+				t.Fatalf("%s: interest %d out of range", term, p.Interest)
+			}
+			if p.Interest > peak {
+				peak = p.Interest
+			}
+		}
+		if peak != 100 {
+			t.Fatalf("%s: peak = %d, want normalized to 100", term, peak)
+		}
+	}
+}
+
+func TestSpikeAfterTakeover(t *testing.T) {
+	// Paper: "a large spike on October 28, the day after Musk's
+	// takeover".
+	peak, ok := PeakDate("twitter alternatives")
+	if !ok {
+		t.Fatal("no peak")
+	}
+	want := vclock.Takeover.Add(24 * time.Hour)
+	if !peak.Equal(want) {
+		t.Fatalf("peak at %s, want %s", peak, want)
+	}
+}
+
+func TestPreTakeoverQuiet(t *testing.T) {
+	pts := Series("mastodon")
+	takeover := vclock.Day(vclock.Takeover)
+	for d := 0; d < takeover; d++ {
+		if pts[d].Interest > 20 {
+			t.Fatalf("day %d interest %d before takeover", d, pts[d].Interest)
+		}
+	}
+}
+
+func TestMastodonOutlastsKoo(t *testing.T) {
+	// Mastodon's interest persists; Koo's spike fades faster relative to
+	// its own peak.
+	m, k := Series("mastodon"), Series("koo")
+	end := vclock.StudyDays - 1
+	if m[end].Interest <= k[end].Interest {
+		t.Fatalf("end-of-window interest: mastodon %d vs koo %d", m[end].Interest, k[end].Interest)
+	}
+}
+
+func TestUnknownTerm(t *testing.T) {
+	if Series("friendster") != nil {
+		t.Fatal("unknown term returned data")
+	}
+}
+
+func TestHandler(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/trends/api/series?term=mastodon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SeriesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Term != "mastodon" || len(sr.Points) != vclock.StudyDays {
+		t.Fatalf("bad response: %s %d", sr.Term, len(sr.Points))
+	}
+	resp2, err := http.Get(srv.URL + "/trends/api/series?term=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown term status %d", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,393 @@
+package world
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"flock/internal/randx"
+	"flock/internal/vclock"
+)
+
+// migrationCurve returns, per study day, the fraction of all migrations
+// that happen that day. The shape mirrors Fig. 2/Fig. 3: a trickle before
+// the takeover, a dominant spike right after it, secondary waves at the
+// layoffs and the ultimatum, and a decaying tail.
+func migrationCurve() []float64 {
+	curve := make([]float64, vclock.StudyDays)
+	day := func(t time.Time) int { return vclock.Day(t) }
+	takeover, layoffs, ultimatum := day(vclock.Takeover), day(vclock.Layoffs), day(vclock.Ultimatum)
+
+	for d := 0; d < vclock.StudyDays; d++ {
+		switch {
+		case d < takeover:
+			curve[d] = 0.10 / float64(takeover) // 10% pre-takeover trickle
+		case d < layoffs:
+			// Takeover spike decaying over the week.
+			curve[d] = 0.38 * decay(d-takeover, 2.5, layoffs-takeover)
+		case d < ultimatum:
+			curve[d] = 0.27 * decay(d-layoffs, 3.5, ultimatum-layoffs)
+		default:
+			curve[d] = 0.25 * decay(d-ultimatum, 4.0, vclock.StudyDays-ultimatum)
+		}
+	}
+	// Normalize to exactly 1.
+	var sum float64
+	for _, v := range curve {
+		sum += v
+	}
+	for d := range curve {
+		curve[d] /= sum
+	}
+	return curve
+}
+
+// decay is a normalized exponential over a window of length n days.
+func decay(i int, tau float64, n int) float64 {
+	var z float64
+	for k := 0; k < n; k++ {
+		z += math.Exp(-float64(k) / tau)
+	}
+	return math.Exp(-float64(i)/tau) / z
+}
+
+// runMigration picks which users migrate and when, with social contagion:
+// each day the configured share of migrations happens, and users whose
+// followees already migrated are proportionally likelier to be picked.
+// This is the ground truth RQ2 (Figs. 8, 10) measures.
+func (w *World) runMigration(rng *randx.Source) {
+	target := w.Cfg.NMigrants
+	curve := migrationCurve()
+	n := len(w.Users)
+
+	migratedFollowees := make([]int, n) // per-user count of migrated followees
+	migrated := make([]bool, n)
+
+	// weight is a user's selection propensity for migration on a given
+	// day: a base term (ideological migration, §5's reason i) plus a
+	// contagion term proportional to the migrated share of their ego
+	// network (reason ii), plus a small dedication pull.
+	weight := func(u int) float64 {
+		out := w.Graph.OutDegree(u)
+		frac := 0.0
+		if out > 0 {
+			frac = float64(migratedFollowees[u]) / float64(out)
+		}
+		return 0.25 + 4.5*frac + 0.35*w.Users[u].Dedication
+	}
+
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+
+	total := 0
+	carry := 0.0
+	for d := 0; d < vclock.StudyDays && total < target; d++ {
+		exact := curve[d]*float64(target) + carry
+		todays := int(exact)
+		carry = exact - float64(todays)
+		if todays == 0 {
+			continue
+		}
+		if todays > len(remaining) {
+			todays = len(remaining)
+		}
+		dayStart := vclock.DayStart(d)
+		for k := 0; k < todays && total < target && len(remaining) > 0; k++ {
+			// Weighted sample without replacement over remaining users.
+			weights := make([]float64, len(remaining))
+			var sum float64
+			for i, u := range remaining {
+				weights[i] = weight(u)
+				sum += weights[i]
+			}
+			pick := rng.Float64() * sum
+			idx := 0
+			for i, wt := range weights {
+				pick -= wt
+				if pick <= 0 {
+					idx = i
+					break
+				}
+			}
+			u := remaining[idx]
+			remaining[idx] = remaining[len(remaining)-1]
+			remaining = remaining[:len(remaining)-1]
+
+			user := w.Users[u]
+			user.Migrated = true
+			migrated[u] = true
+			// Spread migration moments through the day.
+			user.MigratedAt = dayStart.Add(time.Duration(rng.Intn(24*3600)) * time.Second)
+			total++
+			for _, f := range w.Graph.Followers(u) {
+				migratedFollowees[f]++
+			}
+		}
+	}
+
+	// Fill migrant bookkeeping: usernames, account ages, announce styles,
+	// account states, bystanders.
+	for u, user := range w.Users {
+		r := rng.SplitN("detail", u)
+		if user.Migrated {
+			w.Migrants = append(w.Migrants, u)
+			if r.Bool(w.Cfg.SameUsernameProb) {
+				user.MastodonUsername = user.Username
+			} else {
+				user.MastodonUsername = user.Username + randx.Pick(r, []string{"_m", "_fedi", "2", "_masto", "xyz"})
+			}
+			if r.Bool(w.Cfg.PreTakeoverAccountProb) {
+				// Early adopters created accounts months before the
+				// takeover (previous migration waves).
+				daysBefore := 30 + r.Intn(500)
+				user.MastodonCreatedAt = vclock.Takeover.Add(-time.Duration(daysBefore*24) * time.Hour)
+			} else {
+				user.MastodonCreatedAt = user.MigratedAt
+			}
+			// §3.1 match paths: most put the handle in their bio; the
+			// rest only announce in tweet text.
+			user.HandleInBio = r.Bool(0.62)
+			switch {
+			case r.Bool(0.55):
+				user.AnnounceStyle = 0 // @user@host in tweet
+			case r.Bool(0.5):
+				user.AnnounceStyle = 1 // profile URL in tweet
+			default:
+				user.AnnounceStyle = 2 // bio only
+			}
+			if !user.HandleInBio && user.AnnounceStyle == 2 {
+				// Unreachable by the methodology otherwise; nudge the
+				// handle into the tweet, mirroring that the 136k mapped
+				// users are by construction the discoverable ones.
+				user.AnnounceStyle = 0
+			}
+			// Cross-posting tool adoption (§6.1).
+			if r.Bool(w.Cfg.CrossposterProb) {
+				if r.Bool(0.45) {
+					user.Tool = ToolCrossposter
+				} else {
+					user.Tool = ToolMoa
+				}
+			} else if r.Bool(0.12) {
+				// Manual mirrorers: occasionally post the same thing on
+				// both platforms.
+				user.MirrorRate = 0.2 + 0.4*r.Float64()
+			}
+			user.Silent = r.Bool(w.Cfg.SilentProb)
+			// Twitter account states at crawl time (§3.2).
+			switch {
+			case r.Bool(w.Cfg.SuspendedProb):
+				user.Suspended = true
+			case r.Bool(w.Cfg.DeletedProb):
+				user.Deleted = true
+			case r.Bool(w.Cfg.ProtectedProb):
+				user.Protected = true
+			}
+		} else if r.Bool(w.Cfg.BystanderFraction * w.Cfg.migrationTarget / (1 - w.Cfg.migrationTarget) * 5) {
+			// Bystanders: tweet about the migration without migrating.
+			// Scaled so bystanders ~= a small multiple of migrants.
+			user.Bystander = true
+		}
+	}
+	sort.Ints(w.Migrants)
+}
+
+// assignInstances picks each migrant's first instance at migration time,
+// in migration order so the social term sees earlier movers. The mixture
+// reproduces RQ1+RQ2: flagship pull (centralization), social pull
+// (followee co-location, 14.72% same-instance mean), topical matching and
+// personal servers for the most dedicated.
+func (w *World) assignInstances(rng *randx.Source) {
+	// Migration order.
+	order := make([]int, len(w.Migrants))
+	copy(order, w.Migrants)
+	sort.Slice(order, func(i, j int) bool {
+		return w.Users[order[i]].MigratedAt.Before(w.Users[order[j]].MigratedAt)
+	})
+
+	// Regular (non-personal) instances, Zipf-ranked by roster position so
+	// mastodon.social is rank 0.
+	var regular []int
+	personalFree := []int{}
+	byTopic := map[int][]int{}
+	for _, inst := range w.Instances {
+		if inst.Category == CatPersonal {
+			personalFree = append(personalFree, inst.ID)
+			continue
+		}
+		regular = append(regular, inst.ID)
+		byTopic[int(inst.Topic)] = append(byTopic[int(inst.Topic)], inst.ID)
+	}
+	// Zipf rank = size rank: discoverability follows size.
+	sort.Slice(regular, func(a, b int) bool {
+		na, nb := w.Instances[regular[a]].NativeUsers, w.Instances[regular[b]].NativeUsers
+		if na != nb {
+			return na > nb
+		}
+		return regular[a] < regular[b]
+	})
+	zipf := randx.NewZipf(len(regular), 2.4)
+
+	// Personal-instance owners: the most dedicated migrants claim the
+	// reserved slots (one slot each).
+	type cand struct {
+		user       int
+		dedication float64
+	}
+	cands := make([]cand, 0, len(order))
+	for _, u := range order {
+		cands = append(cands, cand{u, w.Users[u].Dedication})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dedication != cands[j].dedication {
+			return cands[i].dedication > cands[j].dedication
+		}
+		return cands[i].user < cands[j].user
+	})
+	personalOwner := map[int]bool{}
+	for i := 0; i < len(personalFree) && i < len(cands); i++ {
+		personalOwner[cands[i].user] = true
+	}
+
+	for _, u := range order {
+		user := w.Users[u]
+		r := rng.SplitN("choice", u)
+		if personalOwner[u] && len(personalFree) > 0 {
+			instID := personalFree[0]
+			personalFree = personalFree[1:]
+			inst := w.Instances[instID]
+			inst.Domain = user.MastodonUsername + ".page"
+			inst.Topic = user.Topic
+			inst.OwnerUser = u
+			user.FirstInstance = instID
+			continue
+		}
+		// Social pull: follow your followees' instances.
+		migratedHere := map[int]int{}
+		for _, f := range w.Graph.Followees(u) {
+			fu := w.Users[int(f)]
+			// Assignment runs in migration order, so earlier movers
+			// already have an instance. Personal servers are excluded:
+			// you cannot register on someone's single-user instance.
+			if fu.Migrated && fu.FirstInstance >= 0 && fu.MigratedAt.Before(user.MigratedAt) {
+				inst := fu.CurrentInstance(user.MigratedAt)
+				if w.Instances[inst].Category != CatPersonal {
+					migratedHere[inst]++
+				}
+			}
+		}
+		socialProb := 0.0
+		if len(migratedHere) > 0 {
+			socialProb = 0.40
+		}
+		switch {
+		case r.Bool(socialProb):
+			// Proportional to followee presence.
+			keys := make([]int, 0, len(migratedHere))
+			for k := range migratedHere {
+				keys = append(keys, k)
+			}
+			sort.Ints(keys)
+			weights := make([]float64, len(keys))
+			for i, k := range keys {
+				weights[i] = float64(migratedHere[k])
+			}
+			user.FirstInstance = keys[randx.NewWeighted(weights).Sample(r)]
+		case r.Bool(0.72 * (1.15 - user.Dedication)):
+			// Popularity pull, stronger for casual users: Zipf over the
+			// regular roster. This is the centralization engine (RQ1).
+			user.FirstInstance = regular[zipf.Sample(r)]
+		default:
+			// Topic match: a topical instance for the user's interest.
+			// Users find topic servers through directories that surface
+			// the established ones, so only the topic's head is in play;
+			// the long tail of tiny servers is reached socially, if at
+			// all.
+			pool := byTopic[int(user.Topic)]
+			if len(pool) > 3 {
+				pool = pool[:3]
+			}
+			if len(pool) == 0 {
+				user.FirstInstance = regular[zipf.Sample(r)]
+			} else {
+				tz := randx.NewZipf(len(pool), 1.4)
+				user.FirstInstance = pool[tz.Sample(r)]
+			}
+		}
+	}
+}
+
+// assignSwitching selects the ~4.09% of migrants who move instances and
+// routes them to where their ego network settled (the strong network
+// effect in Fig. 10).
+func (w *World) assignSwitching(rng *randx.Source) {
+	type swCand struct {
+		user  int
+		score float64
+		modal int
+	}
+	var cands []swCand
+	for _, u := range w.Migrants {
+		user := w.Users[u]
+		if w.Instances[user.FirstInstance].Category == CatPersonal {
+			continue
+		}
+		// Modal instance of migrated followees (excluding current).
+		counts := map[int]int{}
+		migrated := 0
+		for _, f := range w.Graph.Followees(u) {
+			fu := w.Users[int(f)]
+			if fu.Migrated {
+				migrated++
+				counts[fu.FirstInstance]++
+			}
+		}
+		if migrated < 3 {
+			continue
+		}
+		best, bestC := -1, 0
+		for inst, c := range counts {
+			if inst == user.FirstInstance || w.Instances[inst].Category == CatPersonal {
+				continue
+			}
+			if c > bestC || (c == bestC && inst < best) {
+				best, bestC = inst, c
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		frac := float64(bestC) / float64(migrated)
+		// Prefer users stranded on flagship/general servers away from
+		// their community.
+		bonus := 0.0
+		if cat := w.Instances[user.FirstInstance].Category; cat == CatFlagship || cat == CatGeneral {
+			bonus = 0.25
+		}
+		cands = append(cands, swCand{user: u, score: frac + bonus, modal: best})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].user < cands[j].user
+	})
+	nSwitch := int(math.Round(w.Cfg.SwitchProb * float64(len(w.Migrants))))
+	if nSwitch > len(cands) {
+		nSwitch = len(cands)
+	}
+	for i := 0; i < nSwitch; i++ {
+		u := cands[i].user
+		user := w.Users[u]
+		user.SecondInstance = cands[i].modal
+		delay := time.Duration(5+rng.Intn(20)) * 24 * time.Hour
+		at := user.MigratedAt.Add(delay)
+		end := vclock.StudyEnd.Add(20 * time.Hour)
+		if at.After(end) {
+			at = end
+		}
+		user.SwitchedAt = at
+	}
+}

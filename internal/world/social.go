@@ -1,0 +1,187 @@
+package world
+
+import (
+	"sort"
+
+	"flock/internal/randx"
+	"flock/internal/vclock"
+)
+
+// genMastodonGraph builds each migrant's Mastodon ego network. Mastodon
+// follows are mostly re-established Twitter edges between migrants —
+// which is exactly why Fig. 7's Mastodon medians sit at roughly the
+// followee-migration rate times the Twitter medians — plus a
+// dedication-driven sprinkle of native follows.
+func (w *World) genMastodonGraph(rng *randx.Source) {
+	for _, u := range w.Migrants {
+		user := w.Users[u]
+		r := rng.SplitN("mfollow", u)
+		// Re-follow migrated Twitter followees. Dedicated users rebuild
+		// more of their network.
+		p := 0.45 + 0.4*user.Dedication
+		for _, f := range w.Graph.Followees(u) {
+			fu := w.Users[int(f)]
+			if !fu.Migrated {
+				continue
+			}
+			if r.Bool(p) {
+				user.MastodonFollowees = append(user.MastodonFollowees, int(f))
+				fu.MastodonFollowers = append(fu.MastodonFollowers, u)
+			}
+		}
+		// Native follows: local-timeline discovery. Scales with
+		// dedication, boosting small-instance users' networks (Fig. 6).
+		user.NativeFollowees = r.Poisson(2 + 28*user.Dedication)
+		user.NativeFollowers = r.Poisson(1 + 22*user.Dedication)
+		if user.Silent {
+			user.NativeFollowees /= 4
+			user.NativeFollowers /= 6
+		}
+	}
+	for _, u := range w.Migrants {
+		sort.Ints(w.Users[u].MastodonFollowees)
+		sort.Ints(w.Users[u].MastodonFollowers)
+	}
+}
+
+// genActivity composes each instance's weekly activity series
+// (registrations, logins, statuses) from three layers: the native
+// baseline, the unmapped newcomer wave (Mastodon reported 1M+ sign-ups;
+// we map only a fraction), and the mapped migrants' actual events.
+func (w *World) genActivity(rng *randx.Source) {
+	firstWeek := vclock.Week(vclock.StudyStart)
+	lastWeek := vclock.Week(vclock.StudyEnd)
+	nWeeks := lastWeek - firstWeek + 1
+	takeoverWeek := vclock.Week(vclock.Takeover) - firstWeek
+
+	// Mapped migrant events per (instance, week).
+	regs := make([][]int, len(w.Instances))
+	stats := make([][]int, len(w.Instances))
+	logins := make([][]int, len(w.Instances))
+	for i := range w.Instances {
+		regs[i] = make([]int, nWeeks)
+		stats[i] = make([]int, nWeeks)
+		logins[i] = make([]int, nWeeks)
+	}
+	for _, u := range w.Migrants {
+		user := w.Users[u]
+		if wk := vclock.Week(user.MastodonCreatedAt) - firstWeek; wk >= 0 && wk < nWeeks {
+			regs[user.FirstInstance][wk]++
+		}
+		if user.SecondInstance >= 0 {
+			if wk := vclock.Week(user.SwitchedAt) - firstWeek; wk >= 0 && wk < nWeeks {
+				regs[user.SecondInstance][wk]++
+			}
+		}
+		seen := map[[2]int]bool{}
+		for _, s := range w.StatusesByUser[u] {
+			if wk := vclock.Week(s.Time) - firstWeek; wk >= 0 && wk < nWeeks {
+				stats[s.InstanceID][wk]++
+				key := [2]int{s.InstanceID, wk}
+				if !seen[key] {
+					seen[key] = true
+					logins[s.InstanceID][wk]++
+				}
+			}
+		}
+	}
+
+	// Newcomer wave shape: zero before takeover, then the migration
+	// curve re-aggregated by week.
+	curve := migrationCurve()
+	weekCurve := make([]float64, nWeeks)
+	for d := 0; d < vclock.StudyDays; d++ {
+		if wk := vclock.Week(vclock.DayStart(d)) - firstWeek; wk >= 0 && wk < nWeeks && d >= vclock.Day(vclock.Takeover) {
+			weekCurve[wk] += curve[d]
+		}
+	}
+
+	w.Activity = make([][]WeeklyActivity, len(w.Instances))
+	for i, inst := range w.Instances {
+		r := rng.SplitN("act", i)
+		// Newcomers total ~3x the mapped migrants of the instance, plus
+		// popularity-proportional drift.
+		migrantsHere := 0
+		for _, u := range w.Migrants {
+			if w.Users[u].FirstInstance == i {
+				migrantsHere++
+			}
+		}
+		// Mapped migrants are ~14% of the real newcomer wave (136k of
+		// 1M+), so size growth tracks migrant inflow at ~6x plus an
+		// organic component.
+		inst.NewcomerUsers = int(6.0*float64(migrantsHere)) + r.Poisson(float64(inst.NativeUsers)*0.08)
+
+		series := make([]WeeklyActivity, nWeeks)
+		cumNew := 0.0
+		for wk := 0; wk < nWeeks; wk++ {
+			// Native baseline.
+			baseReg := r.Poisson(float64(inst.NativeUsers) * 0.004)
+			baseLogin := r.Poisson(float64(inst.NativeUsers) * 0.45)
+			baseStat := r.Poisson(float64(inst.NativeUsers) * 2.4)
+			// Newcomer layer.
+			newReg := int(float64(inst.NewcomerUsers) * weekCurve[wk])
+			cumNew += float64(newReg)
+			newLogin := int(cumNew * 0.7)
+			newStat := int(cumNew * 2.0)
+			if wk < takeoverWeek {
+				newReg, newLogin, newStat = 0, 0, 0
+			}
+			series[wk] = WeeklyActivity{
+				WeekStart:     vclock.WeekStart(firstWeek + wk),
+				Registrations: baseReg + newReg + regs[i][wk],
+				Logins:        baseLogin + newLogin + logins[i][wk],
+				Statuses:      baseStat + newStat + stats[i][wk],
+			}
+		}
+		w.Activity[i] = series
+	}
+}
+
+// markDownInstances takes instances offline at crawl time until the
+// configured share of migrants is unreachable (§3.2: 11.58%), skipping
+// the biggest servers (which were up) and preferring the long tail.
+func (w *World) markDownInstances(rng *randx.Source) {
+	if w.Cfg.DownCoverage <= 0 || len(w.Migrants) == 0 {
+		return
+	}
+	migrantsOn := make([]int, len(w.Instances))
+	for _, u := range w.Migrants {
+		migrantsOn[w.Users[u].FinalInstance()]++
+	}
+	// Rank instances by migrant count; protect the head of the
+	// distribution (top 5 by migrants).
+	order := make([]int, len(w.Instances))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if migrantsOn[order[a]] != migrantsOn[order[b]] {
+			return migrantsOn[order[a]] > migrantsOn[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	protected := map[int]bool{}
+	for i := 0; i < 5 && i < len(order); i++ {
+		protected[order[i]] = true
+	}
+	target := int(w.Cfg.DownCoverage * float64(len(w.Migrants)))
+	covered := 0
+	// Walk candidates in a deterministic shuffled order.
+	cand := make([]int, 0, len(w.Instances))
+	cand = append(cand, order[min(5, len(order)):]...)
+	rng.Shuffle(len(cand), func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
+	for _, i := range cand {
+		if covered >= target {
+			break
+		}
+		if protected[i] || migrantsOn[i] == 0 {
+			continue
+		}
+		if migrantsOn[i] > (target-covered)*2 {
+			continue // too big a bite; keep looking
+		}
+		w.Instances[i].Down = true
+		covered += migrantsOn[i]
+	}
+}
