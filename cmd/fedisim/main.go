@@ -20,19 +20,55 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
+	"time"
 
 	"flock/internal/birdsite"
 	"flock/internal/fediverse"
 	"flock/internal/indexsvc"
+	"flock/internal/randx"
 	"flock/internal/toxsvc"
 	"flock/internal/trendsvc"
 	"flock/internal/world"
 )
 
+// chaosMiddleware injects seeded, per-host HTTP faults into a handler:
+// each request to a Host gets a deterministic decision stream (seed x
+// host x request index), failing with 503 or delaying the response. It
+// is the TCP-facing sibling of the memnet conn-level chaos engine, so
+// external crawlers can be soak-tested against the same §3.2 instance
+// failures the in-process tests use.
+func chaosMiddleware(seed uint64, pFail float64, maxDelay time.Duration, next http.Handler) http.Handler {
+	var mu sync.Mutex
+	reqs := map[string]int{}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		n := reqs[r.Host]
+		reqs[r.Host] = n + 1
+		mu.Unlock()
+		hostSeed := seed
+		for _, b := range []byte(r.Host) {
+			hostSeed = (hostSeed ^ uint64(b)) * 0x100000001b3
+		}
+		rng := randx.New(hostSeed).SplitN("req", n)
+		if rng.Bool(pFail) {
+			http.Error(w, "chaos: injected failure", http.StatusServiceUnavailable)
+			return
+		}
+		if maxDelay > 0 {
+			time.Sleep(time.Duration(rng.Float64() * float64(maxDelay)))
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
 func main() {
 	migrants := flag.Int("migrants", 500, "approximate number of migrated users to simulate")
 	seed := flag.Uint64("seed", 1, "world seed")
 	base := flag.Int("port", 8081, "first port; five consecutive ports are used")
+	chaosSeed := flag.Uint64("chaos", 0, "fault-injection seed for the fediverse port (0 = no chaos)")
+	chaosFail := flag.Float64("chaos-fail", 0.10, "per-request probability of an injected 503 when -chaos is set")
+	chaosDelay := flag.Duration("chaos-delay", 50*time.Millisecond, "max injected per-request latency when -chaos is set")
 	flag.Parse()
 
 	cfg := world.DefaultConfig(*migrants)
@@ -61,7 +97,12 @@ func main() {
 	serve(*base+2, "toxicity", toxsvc.New(0).Handler())
 	serve(*base+3, "trends", trendsvc.Handler())
 	// All fediverse instances behind one port; dispatch is by Host.
-	serve(*base+4, "fediverse", fediverse.New(w).Handler())
+	fediHandler := http.Handler(fediverse.New(w).Handler())
+	if *chaosSeed != 0 {
+		fediHandler = chaosMiddleware(*chaosSeed, *chaosFail, *chaosDelay, fediHandler)
+		log.Printf("chaos on: seed=%d fail=%.2f max-delay=%v (fediverse port only)", *chaosSeed, *chaosFail, *chaosDelay)
+	}
+	serve(*base+4, "fediverse", fediHandler)
 	log.Printf("fediverse hosts: e.g. curl -H 'Host: mastodon.social' http://127.0.0.1:%d/api/v1/instance", *base+4)
 
 	stop := make(chan os.Signal, 1)

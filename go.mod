@@ -1,0 +1,3 @@
+module flock
+
+go 1.24

@@ -1,0 +1,329 @@
+// Chaos soak and checkpoint/resume tests for the full §3 pipeline.
+//
+// This file is an external test package on purpose: it drives the
+// crawler through store.FileCheckpoint, and store imports crawler, so an
+// in-package test would be an import cycle.
+package crawler_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"flock/internal/birdsite"
+	"flock/internal/crawler"
+	"flock/internal/fediverse"
+	"flock/internal/httpkit"
+	"flock/internal/indexsvc"
+	"flock/internal/memnet"
+	"flock/internal/randx"
+	"flock/internal/store"
+	"flock/internal/toxsvc"
+	"flock/internal/world"
+)
+
+// soakEnv is the simulated internet for chaos tests, assembled the same
+// way as the in-package test env.
+type soakEnv struct {
+	w    *world.World
+	fab  *memnet.Fabric
+	http *http.Client
+}
+
+func newSoakEnv(t testing.TB, nMigrants int, seed uint64) *soakEnv {
+	t.Helper()
+	cfg := world.DefaultConfig(nMigrants)
+	cfg.Seed = seed
+	w, err := world.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := memnet.NewFabric()
+	t.Cleanup(func() { fab.Close() })
+	if _, err := fab.Serve(birdsite.Host, birdsite.New(w).Handler()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fab.Serve(indexsvc.Host, indexsvc.New(w).Handler()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fab.Serve(toxsvc.Host, toxsvc.New(0).Handler()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fediverse.New(w).RegisterAll(fab); err != nil {
+		t.Fatal(err)
+	}
+	return &soakEnv{w: w, fab: fab, http: fab.Client()}
+}
+
+func (e *soakEnv) config() crawler.Config {
+	return crawler.Config{
+		TwitterBase:     "https://" + birdsite.Host,
+		IndexBase:       "https://" + indexsvc.Host,
+		PerspectiveBase: "https://" + toxsvc.Host,
+		HTTP:            e.http,
+		Concurrency:     12,
+	}
+}
+
+// buildStorm builds a seeded fault storm over the fediverse instance
+// hosts only (the core services stay clean; the paper's §3.2 failures
+// were instance deaths, not Twitter outages). Dead hosts are chosen
+// smallest-first so the destroyed coverage stays within the §3.2 budget
+// (11.58% of timeline crawls); every other instance except the flagship
+// gets flapping, lossy dials, throttling or latency jitter.
+func buildStorm(w *world.World, seed uint64) *memnet.Storm {
+	rng := randx.New(seed)
+	// Final-instance migrant load per domain, smallest first.
+	type load struct {
+		domain string
+		n      int
+	}
+	loads := make([]load, 0, len(w.Instances))
+	total := 0
+	for i, inst := range w.Instances {
+		loads = append(loads, load{inst.Domain, w.MigrantsPerInstance[i]})
+		total += w.MigrantsPerInstance[i]
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].n != loads[j].n {
+			return loads[i].n < loads[j].n
+		}
+		return loads[i].domain < loads[j].domain
+	})
+
+	storm := &memnet.Storm{Specs: map[string]*memnet.ChaosSpec{}}
+	dead := map[string]bool{}
+	// Kill populated instances until ~5% of migrants live on dead hosts:
+	// well under the 11.58% §3.2 bound, leaving margin for the lossy and
+	// flapping cohorts' residual failures.
+	budget := total * 5 / 100
+	killed := 0
+	for _, l := range loads {
+		if l.n == 0 || l.domain == "mastodon.social" {
+			continue
+		}
+		if killed+l.n > budget {
+			break
+		}
+		storm.Dead = append(storm.Dead, l.domain)
+		dead[l.domain] = true
+		killed += l.n
+	}
+	i := 0
+	for _, l := range loads {
+		if dead[l.domain] {
+			continue
+		}
+		if l.domain == "mastodon.social" {
+			// The flagship hosts most accounts: light jitter only.
+			storm.Specs[l.domain] = &memnet.ChaosSpec{Seed: rng.Uint64(), Jitter: 2 * time.Millisecond}
+			continue
+		}
+		switch i % 4 {
+		case 0: // scripted down/up windows
+			storm.Specs[l.domain] = &memnet.ChaosSpec{
+				Seed: rng.Uint64(), FlapUpDials: 12, FlapDownDials: 2,
+			}
+		case 1: // lossy dials
+			storm.Specs[l.domain] = &memnet.ChaosSpec{Seed: rng.Uint64(), PDialFail: 0.15}
+		case 2: // slow-loris throttling
+			storm.Specs[l.domain] = &memnet.ChaosSpec{
+				Seed: rng.Uint64(), BytesPerSec: 128 << 10, Latency: time.Millisecond,
+			}
+		default: // latency jitter
+			storm.Specs[l.domain] = &memnet.ChaosSpec{
+				Seed: rng.Uint64(), Latency: time.Millisecond, Jitter: 3 * time.Millisecond,
+			}
+		}
+		i++
+	}
+	return storm
+}
+
+// TestChaosSoak runs the full pipeline over memnet under a seeded fault
+// storm: dead hosts, flapping hosts, lossy dials, throttled and jittered
+// links. The crawl must complete (no hang), keep Mastodon timeline
+// coverage at or above the paper's 88.42%, open breakers for the dead
+// hosts, and account for every gap in the CrawlReport.
+func TestChaosSoak(t *testing.T) {
+	e := newSoakEnv(t, 220, 99)
+	storm := buildStorm(e.w, 4242)
+	if len(storm.Dead) == 0 {
+		t.Fatal("storm has no dead hosts; world too small for the soak")
+	}
+	storm.Apply(e.fab)
+
+	cfg := e.config()
+	cfg.Checkpoint = store.NewFileCheckpoint(filepath.Join(t.TempDir(), "soak.ckpt.gz"))
+	cfg.CheckpointEvery = 64
+	// Short cooldown so lossy hosts recover within the test run; dead
+	// hosts stay effectively open because every probe fails again.
+	cfg.Breaker = httpkit.BreakerPolicy{FailureThreshold: 5, Cooldown: 200 * time.Millisecond, QuarantineAfter: 3}
+	c := crawler.New(cfg)
+
+	// The hang guard: a wedged pipeline fails here rather than at the
+	// package test timeout.
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	ds, err := c.Run(ctx)
+	if err != nil {
+		t.Fatalf("soak run failed (ctx err %v): %v", ctx.Err(), err)
+	}
+
+	cov := ds.Coverage()
+	if cov.Pairs < len(e.w.Migrants)/2 {
+		t.Fatalf("storm destroyed mapping: %d pairs of %d migrants", cov.Pairs, len(e.w.Migrants))
+	}
+	reachable := float64(cov.Pairs-cov.MastodonDown) / float64(cov.Pairs)
+	if reachable < 0.8842 {
+		t.Fatalf("mastodon coverage %.4f < 0.8842 (%d of %d down)", reachable, cov.MastodonDown, cov.Pairs)
+	}
+
+	// Every dead host that actually hosted mapped accounts must have
+	// tripped its breaker.
+	pairsOn := map[string]int{}
+	for i := range ds.Pairs {
+		pairsOn[ds.Pairs[i].Handle.Domain]++
+	}
+	health := c.Health()
+	for _, host := range storm.Dead {
+		if pairsOn[host] < 2 {
+			continue // too few requests to guarantee a trip
+		}
+		h := health.Health(host)
+		if h.Opens == 0 {
+			t.Errorf("dead host %s (%d pairs) never opened its breaker: %+v", host, pairsOn[host], h)
+		}
+		if h.Counts[httpkit.KindDial] == 0 {
+			t.Errorf("dead host %s recorded no dial failures: %+v", host, h.Counts)
+		}
+	}
+
+	rep := c.Report()
+	if len(rep.Hosts) == 0 {
+		t.Fatal("report has no host health snapshot")
+	}
+	if len(rep.MastodonTimelineFailures) == 0 {
+		t.Error("dead instances produced no recorded mastodon timeline gaps")
+	}
+	if cov.MastodonDown > 0 && rep.GapCount() == 0 {
+		t.Errorf("coverage lost %d timelines but report shows no gaps", cov.MastodonDown)
+	}
+	// The fabric saw real chaos, not a no-op storm.
+	injected := 0
+	for host := range storm.Specs {
+		st := e.fab.ChaosStats(host)
+		injected += st.FailedDials + st.FlapRejected + st.Resets
+	}
+	if injected == 0 {
+		t.Error("no chaos events recorded on any spec'd host")
+	}
+	t.Logf("%s", rep.Summary())
+	t.Logf("coverage %.4f, %d dead hosts, %d chaos events", reachable, len(storm.Dead), injected)
+}
+
+// TestCheckpointResumeConvergesToSameDataset kills the crawl twice at
+// phase boundaries (via the Logf hook) and resumes from the on-disk
+// checkpoint each time. The final dataset must be byte-identical to an
+// uninterrupted run over an identical world.
+func TestCheckpointResumeConvergesToSameDataset(t *testing.T) {
+	const nMigrants, seed = 150, 77
+
+	// Reference: uninterrupted run.
+	ref := newSoakEnv(t, nMigrants, seed)
+	refDS, err := crawler.New(ref.config()).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(refDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted: same world seed, fresh services, file checkpoint.
+	e := newSoakEnv(t, nMigrants, seed)
+	ckpt := store.NewFileCheckpoint(filepath.Join(t.TempDir(), "crawl.ckpt.gz"))
+	runUntil := func(killAfter string) (*crawler.Dataset, error) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		cfg := e.config()
+		cfg.Checkpoint = ckpt
+		cfg.CheckpointEvery = 8
+		if killAfter != "" {
+			cfg.Logf = func(format string, _ ...any) {
+				if strings.HasPrefix(format, killAfter) {
+					cancel()
+				}
+			}
+		}
+		return crawler.New(cfg).Run(ctx)
+	}
+
+	// Kill 1: right after tweet collection, mid-mapping.
+	if _, err := runUntil("collected"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("first kill: err = %v, want context.Canceled", err)
+	}
+	// Kill 2: right after the twitter timelines, mid-mastodon-timelines.
+	if _, err := runUntil("twitter timelines"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("second kill: err = %v, want context.Canceled", err)
+	}
+
+	// Final resume runs to completion.
+	cfg := e.config()
+	cfg.Checkpoint = ckpt
+	c := crawler.New(cfg)
+	ds, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Report().Resumed {
+		t.Fatal("final run did not resume from the checkpoint")
+	}
+	got, err := json.Marshal(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("resumed dataset diverged from uninterrupted run:\n got %d bytes\nwant %d bytes", len(got), len(want))
+	}
+}
+
+// TestCheckpointSkipsCompletedRun re-runs a finished crawl from its
+// checkpoint: no phase re-executes, and the dataset is unchanged.
+func TestCheckpointSkipsCompletedRun(t *testing.T) {
+	e := newSoakEnv(t, 60, 5)
+	ckpt := &crawler.MemCheckpoint{}
+	cfg := e.config()
+	cfg.Checkpoint = ckpt
+	ds1, err := crawler.New(cfg).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	saves := ckpt.Saves()
+	if saves == 0 {
+		t.Fatal("no checkpoint saves during run")
+	}
+
+	// Take the whole fediverse down: a re-run that touches the network
+	// at all would change states, a checkpoint-complete run cannot.
+	for _, host := range e.fab.Hosts() {
+		if host != birdsite.Host && host != indexsvc.Host && host != toxsvc.Host {
+			e.fab.SetDown(host, true)
+		}
+	}
+	ds2, err := crawler.New(cfg).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(ds1)
+	b2, _ := json.Marshal(ds2)
+	if string(b1) != string(b2) {
+		t.Fatal("completed checkpoint re-run changed the dataset")
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"flock/internal/httpkit"
@@ -51,20 +50,38 @@ type Config struct {
 	// BeforeTimelines runs after discovery+mapping and before the
 	// timeline crawls. The simulation uses it to take instances down at
 	// the point in the crawl where the paper's instance deaths bit
-	// (§3.2's 11.58%).
+	// (§3.2's 11.58%). On a resumed run it fires again whenever the
+	// timeline phases are not yet complete.
 	BeforeTimelines func()
+
+	// Checkpoint persists per-phase progress so a cancelled or crashed
+	// Run resumes where it stopped (nil = no persistence).
+	Checkpoint Checkpoint
+	// CheckpointEvery is the number of completed work units between
+	// periodic mid-phase saves (default 32). Phase boundaries always
+	// save.
+	CheckpointEvery int
+	// Health is the per-host circuit-breaker registry shared by the
+	// crawl's HTTP clients. When nil, New creates one from Breaker.
+	Health *httpkit.HealthRegistry
+	// Breaker tunes the registry New creates when Health is nil; zero
+	// fields take httpkit.DefaultBreaker values.
+	Breaker httpkit.BreakerPolicy
 }
 
 // Crawler runs the pipeline.
 type Crawler struct {
-	cfg   Config
-	tw    *TwitterClient
-	masto *MastodonClient
-	index *IndexClient
-	tox   *PerspectiveClient
+	cfg    Config
+	tw     *TwitterClient
+	masto  *MastodonClient
+	index  *IndexClient
+	tox    *PerspectiveClient
+	health *httpkit.HealthRegistry
+	rep    *reportState
 }
 
-// New builds a Crawler. The underlying httpkit clients share cfg.HTTP.
+// New builds a Crawler. The underlying httpkit clients share cfg.HTTP and
+// one per-host health registry.
 func New(cfg Config) *Crawler {
 	if cfg.Concurrency <= 0 {
 		cfg.Concurrency = 8
@@ -75,19 +92,26 @@ func New(cfg Config) *Crawler {
 	if cfg.Keywords == nil {
 		cfg.Keywords = DefaultKeywords
 	}
+	health := cfg.Health
+	if health == nil {
+		health = httpkit.NewHealthRegistry(cfg.Breaker)
+	}
 	mk := func() *httpkit.Client {
 		return &httpkit.Client{
 			HTTP:      cfg.HTTP,
 			UserAgent: "flock-crawler/1.0",
 			Retry:     httpkit.RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second},
+			Health:    health,
 		}
 	}
 	return &Crawler{
-		cfg:   cfg,
-		tw:    &TwitterClient{Base: cfg.TwitterBase, C: mk()},
-		masto: &MastodonClient{C: mk()},
-		index: &IndexClient{Base: cfg.IndexBase, C: mk()},
-		tox:   &PerspectiveClient{Base: cfg.PerspectiveBase, HTTP: cfg.HTTP},
+		cfg:    cfg,
+		tw:     &TwitterClient{Base: cfg.TwitterBase, C: mk()},
+		masto:  &MastodonClient{C: mk()},
+		index:  &IndexClient{Base: cfg.IndexBase, C: mk()},
+		tox:    &PerspectiveClient{Base: cfg.PerspectiveBase, HTTP: cfg.HTTP},
+		health: health,
+		rep:    newReportState(),
 	}
 }
 
@@ -97,139 +121,246 @@ func (c *Crawler) logf(format string, args ...any) {
 	}
 }
 
-// Run executes the full §3 pipeline and returns the dataset.
+// waitPhase waits out a worker group and wraps its error with the phase
+// name. On cancellation every in-flight worker returns the same context
+// error and Group.Wait joins them all; collapse that pile to the one
+// context error.
+func waitPhase(ctx context.Context, g *httpkit.Group, phase string) error {
+	err := g.Wait()
+	if err == nil {
+		return nil
+	}
+	if ctx.Err() != nil {
+		err = ctx.Err()
+	}
+	return fmt.Errorf("crawler: %s: %w", phase, err)
+}
+
+// Health exposes the crawl's per-host breaker registry.
+func (c *Crawler) Health() *httpkit.HealthRegistry { return c.health }
+
+// Run executes the full §3 pipeline and returns the dataset. With a
+// Checkpoint configured, progress persists across cancellation: calling
+// Run again resumes at the first incomplete phase and skips work units
+// that already finished.
 func (c *Crawler) Run(ctx context.Context) (*Dataset, error) {
-	ds := NewDataset()
+	t, err := c.begin()
+	if err != nil {
+		return nil, err
+	}
+	prog := t.prog
+	ds := prog.Dataset
+
+	// abort saves best-effort so an interrupted run can resume, then
+	// surfaces the phase error.
+	abort := func(err error) (*Dataset, error) {
+		_ = t.flush()
+		return nil, err
+	}
 
 	// Phase 1 (§3.1): instance index.
-	instances, err := c.index.List(ctx)
-	if err != nil {
-		return nil, fmt.Errorf("crawler: instance index: %w", err)
+	if prog.Phase < phaseIndex {
+		instances, err := c.index.List(ctx)
+		if err != nil {
+			return abort(fmt.Errorf("crawler: instance index: %w", err))
+		}
+		t.update(func(p *Progress) {
+			p.Dataset.Instances = instances
+			p.Phase = phaseIndex
+		})
+		if err := t.flush(); err != nil {
+			return nil, err
+		}
 	}
-	ds.Instances = instances
-	c.logf("index: %d instances", len(instances))
+	c.logf("index: %d instances", len(ds.Instances))
 
 	// Phase 2 (§3.1): tweet collection.
-	if err := c.collectTweets(ctx, ds); err != nil {
-		return nil, err
+	if prog.Phase < phaseTweets {
+		if err := c.collectTweets(ctx, t); err != nil {
+			return abort(err)
+		}
 	}
 	c.logf("collected %d tweets", len(ds.CollectedTweets))
 
 	// Phase 3 (§3.1): account mapping.
-	if err := c.mapAccounts(ctx, ds); err != nil {
-		return nil, err
+	if prog.Phase < phaseMapping {
+		if err := c.mapAccounts(ctx, t); err != nil {
+			return abort(err)
+		}
 	}
 	c.logf("mapped %d account pairs", len(ds.Pairs))
 
-	// Phase 4 (§3.2): timelines on both platforms.
-	if c.cfg.BeforeTimelines != nil {
+	// Phase 4 (§3.2): timelines on both platforms. The hook fires on
+	// every run (including resumes) that still has timeline work left.
+	if c.cfg.BeforeTimelines != nil && prog.Phase < phaseMastoTL {
 		c.cfg.BeforeTimelines()
 	}
-	c.crawlTwitterTimelines(ctx, ds)
-	c.crawlMastodonTimelines(ctx, ds)
+	if prog.Phase < phaseTwitterTL {
+		if err := c.crawlTwitterTimelines(ctx, t); err != nil {
+			return abort(err)
+		}
+	}
+	if prog.Phase < phaseMastoTL {
+		if err := c.crawlMastodonTimelines(ctx, t); err != nil {
+			return abort(err)
+		}
+	}
 
 	// Phase 5 (§3.3): stratified followee sample.
-	c.crawlFollowees(ctx, ds)
+	if prog.Phase < phaseFollowees {
+		if err := c.crawlFollowees(ctx, t); err != nil {
+			return abort(err)
+		}
+	}
 
 	// Phase 6 (§3.1, Fig. 3): weekly activity.
-	c.crawlActivity(ctx, ds)
+	if prog.Phase < phaseActivity {
+		if err := c.crawlActivity(ctx, t); err != nil {
+			return abort(err)
+		}
+	}
 
 	// Phase 7 (§6.3): toxicity scoring.
-	if c.cfg.ScoreToxicity {
-		c.scoreToxicity(ctx, ds)
+	if c.cfg.ScoreToxicity && prog.Phase < phaseToxicity {
+		if err := c.scoreToxicity(ctx, t); err != nil {
+			return abort(err)
+		}
+	}
+	if err := t.flush(); err != nil {
+		return nil, err
 	}
 	return ds, nil
 }
 
 // collectTweets runs the instance-link and keyword query families over
-// the collection window and dedups into ds.CollectedTweets.
-func (c *Crawler) collectTweets(ctx context.Context, ds *Dataset) error {
+// the collection window and dedups into ds.CollectedTweets. Each query
+// is one resumable work unit; a terminally failed query is recorded as a
+// coverage gap rather than failing the crawl.
+func (c *Crawler) collectTweets(ctx context.Context, t *tracker) error {
 	start, end := vclock.CollectionStart, vclock.CollectionEnd.Add(24*time.Hour)
-	type hit struct {
-		tweet TweetJSON
+	type query struct {
+		q     string
 		class QueryClass
 	}
-	var mu sync.Mutex
-	seen := map[string]hit{}
+	var queries []query
+	for _, inst := range t.prog.Dataset.Instances {
+		queries = append(queries, query{fmt.Sprintf("url:%q", inst.Name), ClassInstanceLink})
+	}
+	for _, kw := range c.cfg.Keywords {
+		queries = append(queries, query{kw, ClassKeyword})
+	}
+	// Snapshot the done set before scheduling: workers mutate the live one.
+	done := make(map[string]bool, len(t.prog.DoneQueries))
+	for q, ok := range t.prog.DoneQueries {
+		done[q] = ok
+	}
 
 	g := httpkit.NewGroup(c.cfg.Concurrency)
-	run := func(query string, class QueryClass) {
+	for _, q := range queries {
+		q := q
+		if done[q.q] {
+			continue
+		}
 		g.Go(func() error {
-			tweets, err := c.tw.SearchAll(ctx, query, start, end, c.cfg.MaxSearchPages)
+			tweets, err := c.tw.SearchAll(ctx, q.q, start, end, c.cfg.MaxSearchPages)
 			if err != nil {
-				return fmt.Errorf("search %q: %w", query, err)
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			for _, t := range tweets {
-				prev, dup := seen[t.ID]
-				// Instance-link class wins on dedup: a tweet carrying a
-				// handle link is strictly more informative.
-				if !dup || (prev.class == ClassKeyword && class == ClassInstanceLink) {
-					seen[t.ID] = hit{tweet: t, class: class}
+				if ctx.Err() != nil {
+					return ctx.Err()
 				}
+				c.rep.note(c.rep.failedQueries, q.q, err)
+				t.update(func(p *Progress) { p.DoneQueries[q.q] = true })
+				return nil
 			}
+			t.update(func(p *Progress) {
+				for _, tw := range tweets {
+					prev, dup := p.SeenTweets[tw.ID]
+					// Instance-link class wins on dedup: a tweet carrying a
+					// handle link is strictly more informative. The rule is
+					// order-independent, so resumed runs converge to the
+					// same corpus.
+					if !dup || (prev.Class == ClassKeyword && q.class == ClassInstanceLink) {
+						p.SeenTweets[tw.ID] = SeenTweet{Tweet: tw, Class: q.class}
+					}
+				}
+				p.DoneQueries[q.q] = true
+			})
 			return nil
 		})
 	}
-	for _, inst := range ds.Instances {
-		run(fmt.Sprintf("url:%q", inst.Name), ClassInstanceLink)
+	if err := waitPhase(ctx, g, "tweet collection"); err != nil {
+		return err
 	}
-	for _, kw := range c.cfg.Keywords {
-		run(kw, ClassKeyword)
-	}
-	if err := g.Wait(); err != nil {
-		return fmt.Errorf("crawler: tweet collection: %w", err)
-	}
-	for _, h := range seen {
-		at, err := time.Parse(time.RFC3339, h.tweet.CreatedAt)
-		if err != nil {
-			continue
+	t.update(func(p *Progress) {
+		for _, h := range p.SeenTweets {
+			at, ok := parseTweetTime(h.Tweet.CreatedAt)
+			if !ok {
+				continue
+			}
+			p.Dataset.CollectedTweets = append(p.Dataset.CollectedTweets, CollectedTweet{
+				ID:       h.Tweet.ID,
+				AuthorID: h.Tweet.AuthorID,
+				Time:     at,
+				Text:     h.Tweet.Text,
+				Source:   h.Tweet.Source,
+				Class:    h.Class,
+			})
 		}
-		ds.CollectedTweets = append(ds.CollectedTweets, CollectedTweet{
-			ID:       h.tweet.ID,
-			AuthorID: h.tweet.AuthorID,
-			Time:     at,
-			Text:     h.tweet.Text,
-			Source:   h.tweet.Source,
-			Class:    h.class,
+		sort.Slice(p.Dataset.CollectedTweets, func(i, j int) bool {
+			a, b := p.Dataset.CollectedTweets[i], p.Dataset.CollectedTweets[j]
+			if !a.Time.Equal(b.Time) {
+				return a.Time.Before(b.Time)
+			}
+			return a.ID < b.ID
 		})
-	}
-	sort.Slice(ds.CollectedTweets, func(i, j int) bool {
-		if !ds.CollectedTweets[i].Time.Equal(ds.CollectedTweets[j].Time) {
-			return ds.CollectedTweets[i].Time.Before(ds.CollectedTweets[j].Time)
-		}
-		return ds.CollectedTweets[i].ID < ds.CollectedTweets[j].ID
+		p.SeenTweets = map[string]SeenTweet{}
+		p.DoneQueries = map[string]bool{}
+		p.Phase = phaseTweets
 	})
-	return nil
+	return t.flush()
 }
 
 // mapAccounts applies §3.1's hierarchical matching to every collected
-// author, then verifies each mapped handle against its instance.
-func (c *Crawler) mapAccounts(ctx context.Context, ds *Dataset) error {
+// author, then verifies each mapped handle against its instance. Each
+// author is one resumable work unit.
+func (c *Crawler) mapAccounts(ctx context.Context, t *tracker) error {
+	ds := t.prog.Dataset
 	known := match.KnownInstances{}
 	for _, inst := range ds.Instances {
 		known[strings.ToLower(inst.Name)] = true
 	}
 	// Group collected tweets per author.
 	byAuthor := map[string][]string{}
-	for _, t := range ds.CollectedTweets {
-		byAuthor[t.AuthorID] = append(byAuthor[t.AuthorID], t.Text)
+	for _, tw := range ds.CollectedTweets {
+		byAuthor[tw.AuthorID] = append(byAuthor[tw.AuthorID], tw.Text)
 	}
 	authors := make([]string, 0, len(byAuthor))
 	for a := range byAuthor {
 		authors = append(authors, a)
 	}
 	sort.Strings(authors)
+	done := make(map[string]bool, len(t.prog.DoneAuthors))
+	for a, ok := range t.prog.DoneAuthors {
+		done[a] = ok
+	}
 
-	var mu sync.Mutex
 	g := httpkit.NewGroup(c.cfg.Concurrency)
 	for _, authorID := range authors {
 		authorID := authorID
+		if done[authorID] {
+			continue
+		}
 		g.Go(func() error {
+			markDone := func() {
+				t.update(func(p *Progress) { p.DoneAuthors[authorID] = true })
+			}
 			user, err := c.tw.UserByID(ctx, authorID)
 			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
 				// Account gone between collection and mapping: skip.
+				c.rep.note(c.rep.droppedAuthors, authorID, err)
+				markDone()
 				return nil
 			}
 			profile := match.Profile{
@@ -241,6 +372,7 @@ func (c *Crawler) mapAccounts(ctx context.Context, ds *Dataset) error {
 			}
 			res, ok := match.Map(profile, byAuthor[authorID], known)
 			if !ok {
+				markDone()
 				return nil
 			}
 			pair := AccountPair{
@@ -253,7 +385,7 @@ func (c *Crawler) mapAccounts(ctx context.Context, ds *Dataset) error {
 				MatchSource:      res.Source,
 				SameUsername:     strings.EqualFold(user.Username, res.Handle.Username),
 			}
-			if at, err := time.Parse(time.RFC3339, user.CreatedAt); err == nil {
+			if at, ok := parseTweetTime(user.CreatedAt); ok {
 				pair.TwitterCreatedAt = at
 			}
 			// Verify against the instance and reconstruct the user's
@@ -263,20 +395,20 @@ func (c *Crawler) mapAccounts(ctx context.Context, ds *Dataset) error {
 			//    pointing forward);
 			//  - we found the DESTINATION account (its also_known_as
 			//    alias points backwards at the first instance).
-			if acc, err := c.masto.Lookup(ctx, res.Handle.Domain, res.Handle.Username); err == nil {
+			if acc, lerr := c.masto.Lookup(ctx, res.Handle.Domain, res.Handle.Username); lerr == nil {
 				pair.MastodonVerified = true
 				pair.MastodonAccountID = acc.ID
 				pair.MastodonFollowers = acc.FollowersCount
 				pair.MastodonFollowing = acc.FollowingCount
 				pair.MastodonStatuses = acc.StatusesCount
-				if at, err := time.Parse(time.RFC3339, acc.CreatedAt); err == nil {
+				if at, ok := parseTweetTime(acc.CreatedAt); ok {
 					pair.MastodonCreatedAt = at
 				}
 				switch {
 				case acc.Moved != nil:
 					moved := &MovedRecord{AccountID: acc.Moved.ID}
 					moved.Handle = handleFromURL(acc.Moved.URL, acc.Moved.Username)
-					if at, err := time.Parse(time.RFC3339, acc.Moved.CreatedAt); err == nil {
+					if at, ok := parseTweetTime(acc.Moved.CreatedAt); ok {
 						moved.MovedAt = at
 					}
 					pair.Moved = moved
@@ -288,37 +420,51 @@ func (c *Crawler) mapAccounts(ctx context.Context, ds *Dataset) error {
 					// We discovered the destination; normalize the pair
 					// so Handle is always the FIRST account.
 					oldHandle := handleFromURL(acc.AlsoKnownAs[0], usernameFromURL(acc.AlsoKnownAs[0]))
-					if old, lerr := c.masto.Lookup(ctx, oldHandle.Domain, oldHandle.Username); lerr == nil {
+					old, lerr := c.masto.Lookup(ctx, oldHandle.Domain, oldHandle.Username)
+					if lerr != nil && ctx.Err() != nil {
+						return ctx.Err()
+					}
+					if lerr == nil {
 						pair.Moved = &MovedRecord{
 							Handle:    res.Handle,
 							AccountID: acc.ID,
 						}
-						if at, perr := time.Parse(time.RFC3339, acc.CreatedAt); perr == nil {
+						if at, ok := parseTweetTime(acc.CreatedAt); ok {
 							pair.Moved.MovedAt = at
 						}
 						pair.Handle = oldHandle
 						pair.MastodonAccountID = old.ID
 						pair.SameUsername = strings.EqualFold(user.Username, oldHandle.Username)
-						if at, perr := time.Parse(time.RFC3339, old.CreatedAt); perr == nil {
+						if at, ok := parseTweetTime(old.CreatedAt); ok {
 							pair.MastodonCreatedAt = at
 						}
 					}
 				}
-			} else if httpkit.IsStatus(err, 404) {
+			} else if httpkit.IsStatus(lerr, 404) {
 				// Handle does not resolve: false-positive mapping, drop.
+				markDone()
 				return nil
+			} else if ctx.Err() != nil {
+				return ctx.Err()
 			}
-			mu.Lock()
-			ds.Pairs = append(ds.Pairs, pair)
-			mu.Unlock()
+			t.update(func(p *Progress) {
+				p.Dataset.Pairs = append(p.Dataset.Pairs, pair)
+				p.DoneAuthors[authorID] = true
+			})
 			return nil
 		})
 	}
-	if err := g.Wait(); err != nil {
-		return fmt.Errorf("crawler: account mapping: %w", err)
+	if err := waitPhase(ctx, g, "account mapping"); err != nil {
+		return err
 	}
-	sort.Slice(ds.Pairs, func(i, j int) bool { return ds.Pairs[i].TwitterID < ds.Pairs[j].TwitterID })
-	return nil
+	t.update(func(p *Progress) {
+		sort.Slice(p.Dataset.Pairs, func(i, j int) bool {
+			return p.Dataset.Pairs[i].TwitterID < p.Dataset.Pairs[j].TwitterID
+		})
+		p.DoneAuthors = map[string]bool{}
+		p.Phase = phaseMapping
+	})
+	return t.flush()
 }
 
 // handleFromURL reconstructs a handle from an account URL plus username.
@@ -341,17 +487,29 @@ func usernameFromURL(u string) string {
 }
 
 // crawlTwitterTimelines fetches every pair's tweets with the §3.2
-// failure taxonomy.
-func (c *Crawler) crawlTwitterTimelines(ctx context.Context, ds *Dataset) {
+// failure taxonomy. Presence in ds.TwitterTimelines is the resume
+// marker: every finished unit (including taxonomy failures) writes an
+// entry.
+func (c *Crawler) crawlTwitterTimelines(ctx context.Context, t *tracker) error {
 	start, end := vclock.StudyStart, vclock.StudyEnd.Add(24*time.Hour)
-	var mu sync.Mutex
+	ds := t.prog.Dataset
+	done := make(map[string]bool, len(ds.TwitterTimelines))
+	for id := range ds.TwitterTimelines {
+		done[id] = true
+	}
 	g := httpkit.NewGroup(c.cfg.Concurrency)
 	for i := range ds.Pairs {
 		pair := &ds.Pairs[i]
+		if done[pair.TwitterID] {
+			continue
+		}
 		g.Go(func() error {
 			tl := &TwitterTimeline{State: StateOK}
 			tweets, err := c.tw.Timeline(ctx, pair.TwitterID, start, end)
 			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
 				switch {
 				case httpkit.IsStatus(err, 404):
 					tl.State = StateDeleted
@@ -360,34 +518,47 @@ func (c *Crawler) crawlTwitterTimelines(ctx context.Context, ds *Dataset) {
 				case httpkit.IsStatus(err, 401):
 					tl.State = StateProtected
 				default:
+					// Transport failure, not an account state: record the
+					// gap alongside the taxonomy bucket.
+					c.rep.note(c.rep.twitterTLFailures, pair.TwitterID, err)
 					tl.State = StateDeleted
 				}
 			} else {
-				for _, t := range tweets {
-					at, perr := time.Parse(time.RFC3339, t.CreatedAt)
-					if perr != nil {
+				for _, tw := range tweets {
+					at, ok := parseTweetTime(tw.CreatedAt)
+					if !ok {
 						continue
 					}
-					tl.Posts = append(tl.Posts, Post{ID: t.ID, Time: at, Text: t.Text, Source: t.Source, Toxicity: -1})
+					tl.Posts = append(tl.Posts, Post{ID: tw.ID, Time: at, Text: tw.Text, Source: tw.Source, Toxicity: -1})
 				}
 			}
-			mu.Lock()
-			ds.TwitterTimelines[pair.TwitterID] = tl
-			mu.Unlock()
+			t.update(func(p *Progress) { p.Dataset.TwitterTimelines[pair.TwitterID] = tl })
 			return nil
 		})
 	}
-	_ = g.Wait()
+	if err := waitPhase(ctx, g, "twitter timelines"); err != nil {
+		return err
+	}
+	t.update(func(p *Progress) { p.Phase = phaseTwitterTL })
 	c.logf("twitter timelines: %d", len(ds.TwitterTimelines))
+	return t.flush()
 }
 
 // crawlMastodonTimelines fetches every pair's statuses, spanning both
-// instances for moved accounts.
-func (c *Crawler) crawlMastodonTimelines(ctx context.Context, ds *Dataset) {
-	var mu sync.Mutex
+// instances for moved accounts. Presence in ds.MastodonTimelines is the
+// resume marker.
+func (c *Crawler) crawlMastodonTimelines(ctx context.Context, t *tracker) error {
+	ds := t.prog.Dataset
+	done := make(map[string]bool, len(ds.MastodonTimelines))
+	for id := range ds.MastodonTimelines {
+		done[id] = true
+	}
 	g := httpkit.NewGroup(c.cfg.Concurrency)
 	for i := range ds.Pairs {
 		pair := &ds.Pairs[i]
+		if done[pair.TwitterID] {
+			continue
+		}
 		g.Go(func() error {
 			tl := &MastodonTimeline{State: StateOK}
 			fetch := func(domain, accountID string) error {
@@ -396,8 +567,8 @@ func (c *Crawler) crawlMastodonTimelines(ctx context.Context, ds *Dataset) {
 					return err
 				}
 				for _, s := range sts {
-					at, perr := time.Parse(time.RFC3339, s.CreatedAt)
-					if perr != nil {
+					at, ok := parseTweetTime(s.CreatedAt)
+					if !ok {
 						continue
 					}
 					tl.Posts = append(tl.Posts, Post{ID: s.ID, Time: at, Text: stripHTML(s.Content), Domain: domain, Toxicity: -1})
@@ -420,23 +591,29 @@ func (c *Crawler) crawlMastodonTimelines(ctx context.Context, ds *Dataset) {
 					err = fetch(pair.Handle.Domain, acc.ID)
 				}
 			}
+			if err != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
 			switch {
 			case err != nil && httpkit.IsStatus(err, 404):
 				tl.State = StateInstanceDown // account vanished
 			case err != nil:
 				tl.State = StateInstanceDown
+				c.rep.note(c.rep.mastoTLFailures, pair.TwitterID, err)
 			case len(tl.Posts) == 0:
 				tl.State = StateNoStatuses
 			}
 			sort.Slice(tl.Posts, func(a, b int) bool { return tl.Posts[a].Time.Before(tl.Posts[b].Time) })
-			mu.Lock()
-			ds.MastodonTimelines[pair.TwitterID] = tl
-			mu.Unlock()
+			t.update(func(p *Progress) { p.Dataset.MastodonTimelines[pair.TwitterID] = tl })
 			return nil
 		})
 	}
-	_ = g.Wait()
+	if err := waitPhase(ctx, g, "mastodon timelines"); err != nil {
+		return err
+	}
+	t.update(func(p *Progress) { p.Phase = phaseMastoTL })
 	c.logf("mastodon timelines: %d", len(ds.MastodonTimelines))
+	return t.flush()
 }
 
 // stripHTML removes the <p> wrapper and entities from status content.
@@ -456,8 +633,12 @@ func stripHTML(s string) string {
 
 // crawlFollowees implements §3.3: a stratified sample straddling the
 // median followee count — half the sample from above the median, half
-// from below — then full followee crawls on both platforms.
-func (c *Crawler) crawlFollowees(ctx context.Context, ds *Dataset) {
+// from below — then full followee crawls on both platforms. The sample
+// is a pure function of the mapped pairs, so a resumed run recomputes it
+// identically; DoneFollowees marks the units already crawled (failures
+// produce no dataset entry, hence the explicit set).
+func (c *Crawler) crawlFollowees(ctx context.Context, t *tracker) error {
+	ds := t.prog.Dataset
 	// Eligible: pairs whose Twitter account is crawlable.
 	var eligible []*AccountPair
 	for i := range ds.Pairs {
@@ -467,7 +648,11 @@ func (c *Crawler) crawlFollowees(ctx context.Context, ds *Dataset) {
 		}
 	}
 	if len(eligible) == 0 {
-		return
+		t.update(func(p *Progress) {
+			p.DoneFollowees = map[string]bool{}
+			p.Phase = phaseFollowees
+		})
+		return t.flush()
 	}
 	sort.Slice(eligible, func(i, j int) bool {
 		if eligible[i].TwitterFollowing != eligible[j].TwitterFollowing {
@@ -515,33 +700,51 @@ func (c *Crawler) crawlFollowees(ctx context.Context, ds *Dataset) {
 		sampled = append(sampled, p)
 	}
 	sort.Slice(sampled, func(i, j int) bool { return sampled[i].TwitterID < sampled[j].TwitterID })
+	done := make(map[string]bool, len(t.prog.DoneFollowees))
+	for id, ok := range t.prog.DoneFollowees {
+		done[id] = ok
+	}
 
-	var mu sync.Mutex
 	g := httpkit.NewGroup(c.cfg.Concurrency)
 	for _, p := range sampled {
 		p := p
+		if done[p.TwitterID] {
+			continue
+		}
 		g.Go(func() error {
+			markDone := func() {
+				t.update(func(pr *Progress) { pr.DoneFollowees[p.TwitterID] = true })
+			}
 			users, err := c.tw.Following(ctx, p.TwitterID)
 			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				c.rep.note(c.rep.followeeGaps, p.TwitterID, err)
+				markDone()
 				return nil
 			}
 			refs := make([]FolloweeRef, 0, len(users))
 			for _, u := range users {
 				refs = append(refs, FolloweeRef{TwitterID: u.ID, Username: u.Username})
 			}
-			mu.Lock()
-			ds.TwitterFollowees[p.TwitterID] = refs
-			mu.Unlock()
+			t.update(func(pr *Progress) { pr.Dataset.TwitterFollowees[p.TwitterID] = refs })
 			// Mastodon following of the live account.
 			domain, accID := p.Handle.Domain, p.MastodonAccountID
 			if p.Moved != nil {
 				domain, accID = p.Moved.Handle.Domain, p.Moved.AccountID
 			}
 			if accID == "" {
+				markDone()
 				return nil
 			}
 			accounts, err := c.masto.Following(ctx, domain, accID)
 			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				c.rep.note(c.rep.followeeGaps, p.TwitterID, err)
+				markDone()
 				return nil
 			}
 			handles := make([]string, 0, len(accounts))
@@ -552,19 +755,29 @@ func (c *Crawler) crawlFollowees(ctx context.Context, ds *Dataset) {
 				}
 				handles = append(handles, "@"+acct)
 			}
-			mu.Lock()
-			ds.MastodonFollowing[p.TwitterID] = handles
-			mu.Unlock()
+			t.update(func(pr *Progress) {
+				pr.Dataset.MastodonFollowing[p.TwitterID] = handles
+				pr.DoneFollowees[p.TwitterID] = true
+			})
 			return nil
 		})
 	}
-	_ = g.Wait()
+	if err := waitPhase(ctx, g, "followee sample"); err != nil {
+		return err
+	}
+	t.update(func(p *Progress) {
+		p.DoneFollowees = map[string]bool{}
+		p.Phase = phaseFollowees
+	})
 	c.logf("followee sample: %d users", len(ds.TwitterFollowees))
+	return t.flush()
 }
 
 // crawlActivity fetches weekly activity for every instance that received
-// a mapped migrant.
-func (c *Crawler) crawlActivity(ctx context.Context, ds *Dataset) {
+// a mapped migrant. DoneActivity marks finished domains (down instances
+// drop out with a recorded gap).
+func (c *Crawler) crawlActivity(ctx context.Context, t *tracker) error {
+	ds := t.prog.Dataset
 	domains := map[string]bool{}
 	for i := range ds.Pairs {
 		domains[ds.Pairs[i].Handle.Domain] = true
@@ -577,20 +790,32 @@ func (c *Crawler) crawlActivity(ctx context.Context, ds *Dataset) {
 		sorted = append(sorted, d)
 	}
 	sort.Strings(sorted)
+	done := make(map[string]bool, len(t.prog.DoneActivity))
+	for d, ok := range t.prog.DoneActivity {
+		done[d] = ok
+	}
 
-	var mu sync.Mutex
 	g := httpkit.NewGroup(c.cfg.Concurrency)
 	for _, domain := range sorted {
 		domain := domain
+		if done[domain] {
+			continue
+		}
 		g.Go(func() error {
 			acts, err := c.masto.Activity(ctx, domain)
 			if err != nil {
-				return nil // down instances simply drop out
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				// Down instances drop out of the activity panel.
+				c.rep.note(c.rep.activityGaps, domain, err)
+				t.update(func(p *Progress) { p.DoneActivity[domain] = true })
+				return nil
 			}
 			weeks := make([]WeekActivity, 0, len(acts))
 			for _, a := range acts {
-				wk, err := parseUnix(a.Week)
-				if err != nil {
+				wk, werr := parseUnix(a.Week)
+				if werr != nil {
 					continue
 				}
 				st, _ := atoiSafe(a.Statuses)
@@ -599,14 +824,22 @@ func (c *Crawler) crawlActivity(ctx context.Context, ds *Dataset) {
 				weeks = append(weeks, WeekActivity{Week: wk, Statuses: st, Logins: lg, Registrations: rg})
 			}
 			sort.Slice(weeks, func(i, j int) bool { return weeks[i].Week.Before(weeks[j].Week) })
-			mu.Lock()
-			ds.Activity[domain] = weeks
-			mu.Unlock()
+			t.update(func(p *Progress) {
+				p.Dataset.Activity[domain] = weeks
+				p.DoneActivity[domain] = true
+			})
 			return nil
 		})
 	}
-	_ = g.Wait()
+	if err := waitPhase(ctx, g, "activity"); err != nil {
+		return err
+	}
+	t.update(func(p *Progress) {
+		p.DoneActivity = map[string]bool{}
+		p.Phase = phaseActivity
+	})
 	c.logf("activity: %d instances", len(ds.Activity))
+	return t.flush()
 }
 
 func atoiSafe(s string) (int, error) {
@@ -616,15 +849,25 @@ func atoiSafe(s string) (int, error) {
 }
 
 // scoreToxicity labels every crawled post via the Perspective-style
-// service (§6.3).
-func (c *Crawler) scoreToxicity(ctx context.Context, ds *Dataset) {
+// service (§6.3). Already-scored posts (Toxicity >= 0, e.g. restored
+// from a checkpoint) are skipped, making the phase idempotent. No
+// mid-phase checkpoints: workers write posts in place, so saves only
+// happen at the phase boundary when they are quiescent.
+func (c *Crawler) scoreToxicity(ctx context.Context, t *tracker) error {
+	ds := t.prog.Dataset
 	g := httpkit.NewGroup(c.cfg.Concurrency)
 	scorePosts := func(posts []Post) {
 		for i := range posts {
 			i := i
+			if posts[i].Toxicity >= 0 {
+				continue
+			}
 			g.Go(func() error {
 				v, err := c.tox.Score(ctx, posts[i].Text)
 				if err != nil {
+					if ctx.Err() != nil {
+						return ctx.Err()
+					}
 					return nil // unscored posts keep -1
 				}
 				posts[i].Toxicity = v
@@ -638,6 +881,10 @@ func (c *Crawler) scoreToxicity(ctx context.Context, ds *Dataset) {
 	for _, tl := range ds.MastodonTimelines {
 		scorePosts(tl.Posts)
 	}
-	_ = g.Wait()
+	if err := waitPhase(ctx, g, "toxicity"); err != nil {
+		return err
+	}
+	t.update(func(p *Progress) { p.Phase = phaseToxicity })
 	c.logf("toxicity scoring done")
+	return t.flush()
 }

@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -173,26 +174,42 @@ type Client struct {
 	// Sleep is the wait function, overridable in tests. Defaults to
 	// SleepContext.
 	Sleep func(context.Context, time.Duration) error
+	// Health, when non-nil, gates every request through the registry's
+	// per-host circuit breaker and records each outcome's error kind.
+	// Requests to a host with an open breaker fail fast with a
+	// *HostError wrapping ErrCircuitOpen instead of burning the retry
+	// budget against a dead host.
+	Health *HealthRegistry
 
 	// stats
 	mu       sync.Mutex
 	requests int
 	retries  int
 	limited  int
+	shorts   int
+	dropped  int
 }
 
 // Stats reports counters accumulated by the client.
 type Stats struct {
-	Requests    int // requests attempted (including retries)
-	Retries     int // retried attempts
-	RateLimited int // 429 responses observed
+	Requests       int // requests attempted (including retries)
+	Retries        int // retried attempts
+	RateLimited    int // 429 responses observed
+	ShortCircuits  int // requests refused by an open circuit breaker
+	RetriesDropped int // retries refused because the body cannot be rewound
 }
 
 // Stats returns a snapshot of client counters.
 func (c *Client) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{Requests: c.requests, Retries: c.retries, RateLimited: c.limited}
+	return Stats{
+		Requests:       c.requests,
+		Retries:        c.retries,
+		RateLimited:    c.limited,
+		ShortCircuits:  c.shorts,
+		RetriesDropped: c.dropped,
+	}
 }
 
 func (c *Client) doer() Doer {
@@ -258,16 +275,47 @@ func retryable(code int) bool {
 	return false
 }
 
-// Do performs req with pacing and retries. The caller owns the response
-// body on success. Non-2xx terminal responses become *StatusError.
+// Do performs req with pacing, retries and per-host circuit breaking.
+// The caller owns the response body on success. Non-2xx terminal
+// responses become *StatusError; requests refused by an open breaker
+// return a *HostError wrapping ErrCircuitOpen.
+//
+// Body-bearing requests are only retried when req.GetBody can supply a
+// fresh copy (http.NewRequest sets it for common in-memory readers); a
+// consumed, unrewindable body would resend nothing, so the retry is
+// refused instead.
 func (c *Client) Do(req *http.Request) (*http.Response, error) {
 	policy := c.policy()
+	host := strings.ToLower(req.URL.Hostname())
+	rewindable := req.Body == nil || req.Body == http.NoBody || req.GetBody != nil
 	var lastErr error
 	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
 		if attempt > 1 {
+			if !rewindable {
+				// Attempt 1 consumed the body; without GetBody a
+				// retry would send an empty payload. Surface the original
+				// failure instead.
+				c.mu.Lock()
+				c.dropped++
+				c.mu.Unlock()
+				return nil, fmt.Errorf("httpkit: %s %s: cannot retry consumed request body (no GetBody): %w", req.Method, req.URL, lastErr)
+			}
 			c.mu.Lock()
 			c.retries++
 			c.mu.Unlock()
+		}
+		if c.Health != nil {
+			if err := c.Health.Allow(host); err != nil {
+				c.mu.Lock()
+				c.shorts++
+				c.mu.Unlock()
+				if lastErr != nil {
+					// The breaker tripped mid-retry: the underlying failure
+					// is more informative than the refusal.
+					return nil, fmt.Errorf("%w (circuit opened for %s)", lastErr, host)
+				}
+				return nil, err
+			}
 		}
 		if c.Limiter != nil {
 			if err := c.Limiter.Wait(req.Context()); err != nil {
@@ -275,6 +323,13 @@ func (c *Client) Do(req *http.Request) (*http.Response, error) {
 			}
 		}
 		r := req.Clone(req.Context())
+		if attempt > 1 && req.GetBody != nil {
+			body, err := req.GetBody()
+			if err != nil {
+				return nil, fmt.Errorf("httpkit: rewinding request body: %w", err)
+			}
+			r.Body = body
+		}
 		if c.UserAgent != "" {
 			r.Header.Set("User-Agent", c.UserAgent)
 		}
@@ -290,6 +345,7 @@ func (c *Client) Do(req *http.Request) (*http.Response, error) {
 			if req.Context().Err() != nil {
 				return nil, req.Context().Err()
 			}
+			c.Health.ReportFailure(host, Classify(err, 0))
 			if attempt < policy.MaxAttempts {
 				if werr := c.wait(req.Context(), policy.delay(attempt, c.rnd)); werr != nil {
 					return nil, werr
@@ -299,10 +355,12 @@ func (c *Client) Do(req *http.Request) (*http.Response, error) {
 			return nil, fmt.Errorf("httpkit: %s %s failed after %d attempts: %w", req.Method, req.URL, attempt, err)
 		}
 		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			c.Health.ReportSuccess(host)
 			return resp, nil
 		}
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		resp.Body.Close()
+		c.Health.ReportFailure(host, Classify(nil, resp.StatusCode))
 		if resp.StatusCode == http.StatusTooManyRequests {
 			c.mu.Lock()
 			c.limited++

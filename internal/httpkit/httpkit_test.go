@@ -301,7 +301,7 @@ func TestNilLimiterUnlimited(t *testing.T) {
 
 func TestPaginate(t *testing.T) {
 	pages := map[string]Page[int]{
-		"":  {Items: []int{1, 2}, Next: "p2"},
+		"":   {Items: []int{1, 2}, Next: "p2"},
 		"p2": {Items: []int{3}, Next: "p3"},
 		"p3": {Items: []int{4, 5}, Next: ""},
 	}
@@ -434,5 +434,98 @@ func TestRetryPolicyJitter(t *testing.T) {
 	d := p.delay(1, func() float64 { return 1.0 })
 	if d <= time.Second || d > 1500*time.Millisecond {
 		t.Fatalf("jittered delay = %v", d)
+	}
+}
+
+func TestRetryAfterHTTPDate(t *testing.T) {
+	now := time.Date(2023, 2, 1, 12, 0, 0, 0, time.UTC)
+	resp := respond(429, "", map[string]string{
+		"Retry-After": now.Add(90 * time.Second).Format(http.TimeFormat),
+	})
+	d, ok := retryAfter(resp, now)
+	if !ok {
+		t.Fatal("HTTP-date Retry-After not parsed")
+	}
+	if d != 90*time.Second {
+		t.Fatalf("d = %v, want 90s", d)
+	}
+}
+
+func TestRetryAfterPastHTTPDateNegative(t *testing.T) {
+	now := time.Date(2023, 2, 1, 12, 0, 0, 0, time.UTC)
+	resp := respond(429, "", map[string]string{
+		"Retry-After": now.Add(-time.Minute).Format(http.TimeFormat),
+	})
+	d, ok := retryAfter(resp, now)
+	if !ok || d >= 0 {
+		t.Fatalf("past HTTP-date: d=%v ok=%v, want negative wait reported", d, ok)
+	}
+}
+
+func TestRetryAfterPastEpochReset(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	resp := respond(429, "", map[string]string{
+		"x-rate-limit-reset": strconv.FormatInt(now.Add(-30*time.Second).Unix(), 10),
+	})
+	d, ok := retryAfter(resp, now)
+	if !ok || d >= 0 {
+		t.Fatalf("past epoch reset: d=%v ok=%v", d, ok)
+	}
+}
+
+func TestRetryAfterMalformedIgnored(t *testing.T) {
+	resp := respond(429, "", map[string]string{"Retry-After": "soon-ish"})
+	if _, ok := retryAfter(resp, time.Now()); ok {
+		t.Fatal("malformed Retry-After accepted")
+	}
+	resp = respond(429, "", map[string]string{"x-rate-limit-reset": "not-a-number"})
+	if _, ok := retryAfter(resp, time.Now()); ok {
+		t.Fatal("malformed reset header accepted")
+	}
+}
+
+func TestDoClampsNegativeServerWait(t *testing.T) {
+	// A past-epoch reset must not produce a negative sleep: the client
+	// clamps to an immediate retry.
+	var slept []time.Duration
+	fd := &fakeDoer{fn: func(call int, _ *http.Request) (*http.Response, error) {
+		if call == 1 {
+			return respond(429, "", map[string]string{
+				"x-rate-limit-reset": strconv.FormatInt(time.Now().Add(-time.Hour).Unix(), 10),
+			}), nil
+		}
+		return respond(200, "ok", nil), nil
+	}}
+	c := &Client{HTTP: fd, Sleep: func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}}
+	req, _ := http.NewRequest("GET", "https://x.example/", nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(slept) != 1 || slept[0] != 0 {
+		t.Fatalf("slept %v, want a single zero wait", slept)
+	}
+}
+
+func TestPaginateStuckTokenCycle(t *testing.T) {
+	// A two-token cycle (a -> b -> a) is not caught by the equal-token
+	// guard, but maxPages still bounds it.
+	calls := 0
+	_, err := Paginate(context.Background(), 10, func(_ context.Context, tok string) (Page[int], error) {
+		calls++
+		if tok == "a" {
+			return Page[int]{Next: "b"}, nil
+		}
+		return Page[int]{Next: "a"}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 10 {
+		t.Fatalf("cycle ran %d pages, want capped at 10", calls)
 	}
 }

@@ -1,0 +1,223 @@
+package memnet
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"flock/internal/randx"
+)
+
+// echoHandler responds with a fixed payload for conn-level chaos tests.
+func echoHandler(size int) http.Handler {
+	body := make([]byte, size)
+	for i := range body {
+		body[i] = byte('a' + i%26)
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(body)
+	})
+}
+
+func TestChaosDialFailDeterministic(t *testing.T) {
+	outcomes := func() []bool {
+		f := NewFabric()
+		defer f.Close()
+		l, err := f.Listen("a.test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { // drain accepted conns so dials never block
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				c.Close()
+			}
+		}()
+		f.SetChaos("a.test", &ChaosSpec{Seed: 7, PDialFail: 0.5})
+		var out []bool
+		for i := 0; i < 40; i++ {
+			c, err := f.Dial("a.test")
+			out = append(out, err == nil)
+			if c != nil {
+				c.Close()
+			}
+		}
+		return out
+	}
+	a, b := outcomes(), outcomes()
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("dial %d differs between identically seeded runs", i)
+		}
+		if !a[i] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Fatalf("PDialFail=0.5 produced %d/%d failures", fails, len(a))
+	}
+}
+
+func TestChaosFlapWindows(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	l, err := f.Listen("flap.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	f.SetChaos("flap.test", &ChaosSpec{Seed: 1, FlapUpDials: 3, FlapDownDials: 2})
+	var got []bool
+	for i := 0; i < 10; i++ {
+		c, err := f.Dial("flap.test")
+		if err != nil && !errors.Is(err, ErrFlapDown) {
+			t.Fatalf("dial %d: unexpected error %v", i, err)
+		}
+		got = append(got, err == nil)
+		if c != nil {
+			c.Close()
+		}
+	}
+	want := []bool{true, true, true, false, false, true, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("flap pattern %v, want %v", got, want)
+		}
+	}
+	st := f.ChaosStats("flap.test")
+	if st.Dials != 10 || st.FlapRejected != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestChaosResetMidConnection(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	stop, err := f.Serve("reset.test", echoHandler(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	f.SetChaos("reset.test", &ChaosSpec{Seed: 3, PReset: 1.0, ResetAfterBytes: 2048})
+	client := f.Client()
+	sawFailure := false
+	for i := 0; i < 5; i++ {
+		resp, err := client.Get("https://reset.test/big")
+		if err != nil {
+			sawFailure = true
+			continue
+		}
+		_, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			sawFailure = true
+		}
+	}
+	if !sawFailure {
+		t.Fatal("PReset=1.0 never interrupted a 1MiB response")
+	}
+	if st := f.ChaosStats("reset.test"); st.Resets == 0 {
+		t.Fatalf("no resets recorded: %+v", st)
+	}
+}
+
+func TestChaosThrottleSlowsTransfer(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	stop, err := f.Serve("slow.test", echoHandler(64<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	// 256 KiB/s on a 64 KiB body: about 250ms of injected delay.
+	f.SetChaos("slow.test", &ChaosSpec{Seed: 5, BytesPerSec: 256 << 10})
+	client := f.Client()
+	t0 := time.Now()
+	resp, err := client.Get("https://slow.test/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 64<<10 {
+		t.Fatalf("read %d bytes", n)
+	}
+	if d := time.Since(t0); d < 100*time.Millisecond {
+		t.Fatalf("throttled transfer finished in %v, want >= 100ms", d)
+	}
+}
+
+func TestChaosLatencyJitterHonoursContext(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	if _, err := f.Listen("lag.test"); err != nil {
+		t.Fatal(err)
+	}
+	f.SetChaos("lag.test", &ChaosSpec{Seed: 9, Latency: time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := f.DialContext(ctx, "lag.test"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestRandomStormSeededAndApplied(t *testing.T) {
+	hosts := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	s1 := RandomStorm(randx.New(42), hosts, DefaultStorm)
+	s2 := RandomStorm(randx.New(42), hosts, DefaultStorm)
+	if len(s1.Dead) != len(s2.Dead) {
+		t.Fatalf("dead cohorts differ: %v vs %v", s1.Dead, s2.Dead)
+	}
+	for i := range s1.Dead {
+		if s1.Dead[i] != s2.Dead[i] {
+			t.Fatalf("dead cohorts differ: %v vs %v", s1.Dead, s2.Dead)
+		}
+	}
+	if len(s1.Specs) != len(s2.Specs) {
+		t.Fatalf("spec counts differ")
+	}
+	for h, sp := range s1.Specs {
+		o := s2.Specs[h]
+		if o == nil || *sp != *o {
+			t.Fatalf("spec for %s differs: %+v vs %+v", h, sp, o)
+		}
+	}
+	if len(s1.Dead)+len(s1.Specs) != len(hosts) {
+		t.Fatalf("storm does not cover all hosts: %d dead + %d specs", len(s1.Dead), len(s1.Specs))
+	}
+
+	f := NewFabric()
+	defer f.Close()
+	for _, h := range hosts {
+		if _, err := f.Listen(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1.Apply(f)
+	for _, h := range s1.Dead {
+		if !f.IsDown(h) {
+			t.Fatalf("dead host %s not down after Apply", h)
+		}
+		if _, err := f.Dial(h); !errors.Is(err, ErrHostDown) {
+			t.Fatalf("dial of dead host %s: %v", h, err)
+		}
+	}
+}

@@ -45,6 +45,7 @@ type Fabric struct {
 	hosts  map[string]*listener
 	down   map[string]bool
 	faults map[string]*Fault
+	chaos  map[string]*chaosHost
 	closed bool
 }
 
@@ -65,6 +66,7 @@ func NewFabric() *Fabric {
 		hosts:  make(map[string]*listener),
 		down:   make(map[string]bool),
 		faults: make(map[string]*Fault),
+		chaos:  make(map[string]*chaosHost),
 	}
 }
 
@@ -128,13 +130,27 @@ func (f *Fabric) DialContext(ctx context.Context, host string) (net.Conn, error)
 		}
 		fault = fl
 	}
+	ch := f.chaos[host]
 	f.mu.Unlock()
 	if !ok {
 		return nil, &net.OpError{Op: "dial", Net: "memnet", Err: ErrNoSuchHost}
 	}
-	if fault != nil && fault.Latency > 0 {
+	latency := time.Duration(0)
+	var resetAfter int64
+	var bytesPerSec int
+	if ch != nil {
+		var cerr error
+		latency, resetAfter, bytesPerSec, cerr = ch.plan()
+		if cerr != nil {
+			return nil, &net.OpError{Op: "dial", Net: "memnet", Err: cerr}
+		}
+	}
+	if fault != nil {
+		latency += fault.Latency
+	}
+	if latency > 0 {
 		select {
-		case <-time.After(fault.Latency):
+		case <-time.After(latency):
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
@@ -142,6 +158,9 @@ func (f *Fabric) DialContext(ctx context.Context, host string) (net.Conn, error)
 	client, server := net.Pipe()
 	select {
 	case l.conns <- server:
+		if ch != nil && (resetAfter > 0 || bytesPerSec > 0) {
+			return &chaosConn{Conn: client, host: ch, resetAfter: resetAfter, bytesPerSec: bytesPerSec}, nil
+		}
 		return client, nil
 	case <-l.done:
 		return nil, &net.OpError{Op: "dial", Net: "memnet", Err: ErrHostDown}

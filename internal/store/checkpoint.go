@@ -1,0 +1,84 @@
+package store
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"flock/internal/crawler"
+)
+
+// FileCheckpoint implements crawler.Checkpoint on a single gzip-JSON
+// file. Saves are atomic (written to a sibling temp file, then renamed),
+// so a crash mid-save leaves the previous checkpoint intact and a
+// resumed crawl never sees a torn file.
+type FileCheckpoint struct {
+	Path string
+}
+
+// NewFileCheckpoint builds a checkpoint backed by path. The parent
+// directory is created on first Save.
+func NewFileCheckpoint(path string) *FileCheckpoint {
+	return &FileCheckpoint{Path: path}
+}
+
+// Load reads the last saved progress. A missing file is not an error: it
+// returns (nil, nil), meaning "fresh crawl".
+func (f *FileCheckpoint) Load() (*crawler.Progress, error) {
+	file, err := os.Open(f.Path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: open checkpoint: %w", err)
+	}
+	defer file.Close()
+	zr, err := gzip.NewReader(file)
+	if err != nil {
+		return nil, fmt.Errorf("store: checkpoint %s: %w", f.Path, err)
+	}
+	defer zr.Close()
+	var prog crawler.Progress
+	if err := json.NewDecoder(zr).Decode(&prog); err != nil {
+		return nil, fmt.Errorf("store: decode checkpoint %s: %w", f.Path, err)
+	}
+	return &prog, nil
+}
+
+// Save atomically persists the progress snapshot.
+func (f *FileCheckpoint) Save(prog *crawler.Progress) error {
+	if err := os.MkdirAll(filepath.Dir(f.Path), 0o755); err != nil {
+		return fmt.Errorf("store: checkpoint dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(f.Path), filepath.Base(f.Path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: checkpoint temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	zw := gzip.NewWriter(tmp)
+	if err := json.NewEncoder(zw).Encode(prog); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: encode checkpoint: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: flush checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), f.Path); err != nil {
+		return fmt.Errorf("store: commit checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Clear removes the checkpoint file (missing is fine).
+func (f *FileCheckpoint) Clear() error {
+	if err := os.Remove(f.Path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: clear checkpoint: %w", err)
+	}
+	return nil
+}

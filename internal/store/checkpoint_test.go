@@ -1,0 +1,106 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"flock/internal/crawler"
+)
+
+func TestFileCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt", "crawl.json.gz")
+	ck := NewFileCheckpoint(path)
+
+	// Missing file means fresh crawl, not an error.
+	prog, err := ck.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog != nil {
+		t.Fatalf("expected nil progress for missing file, got %+v", prog)
+	}
+
+	ds := crawler.NewDataset()
+	ds.CollectedTweets = []crawler.CollectedTweet{{
+		ID: "t1", AuthorID: "a1", Time: time.Unix(1_700_000_000, 0).UTC(),
+		Text: "bye bye twitter", Class: crawler.ClassKeyword,
+	}}
+	ds.TwitterTimelines["a1"] = &crawler.TwitterTimeline{State: crawler.StateOK}
+	want := &crawler.Progress{
+		Phase:       3,
+		Dataset:     ds,
+		DoneQueries: map[string]bool{"mastodon": true},
+	}
+	if err := ck.Save(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ck.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Phase != 3 {
+		t.Fatalf("got %+v", got)
+	}
+	if len(got.Dataset.CollectedTweets) != 1 || got.Dataset.CollectedTweets[0].ID != "t1" {
+		t.Fatalf("dataset lost: %+v", got.Dataset)
+	}
+	if !got.Dataset.CollectedTweets[0].Time.Equal(want.Dataset.CollectedTweets[0].Time) {
+		t.Fatal("timestamps changed across round trip")
+	}
+	if tl := got.Dataset.TwitterTimelines["a1"]; tl == nil || tl.State != crawler.StateOK {
+		t.Fatalf("timeline lost: %+v", got.Dataset.TwitterTimelines)
+	}
+	if !got.DoneQueries["mastodon"] {
+		t.Fatalf("done set lost: %+v", got.DoneQueries)
+	}
+}
+
+func TestFileCheckpointSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "crawl.json.gz")
+	ck := NewFileCheckpoint(path)
+	if err := ck.Save(&crawler.Progress{Phase: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Save(&crawler.Progress{Phase: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "crawl.json.gz" {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("directory not clean after saves: %v", names)
+	}
+	got, err := ck.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Phase != 2 {
+		t.Fatalf("phase = %d, want 2", got.Phase)
+	}
+}
+
+func TestFileCheckpointClear(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crawl.json.gz")
+	ck := NewFileCheckpoint(path)
+	if err := ck.Clear(); err != nil {
+		t.Fatalf("clear of missing checkpoint: %v", err)
+	}
+	if err := ck.Save(&crawler.Progress{Phase: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if prog, err := ck.Load(); err != nil || prog != nil {
+		t.Fatalf("checkpoint survived clear: %+v, %v", prog, err)
+	}
+}
