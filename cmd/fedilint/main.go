@@ -1,0 +1,48 @@
+// Command fedilint runs the repo's static-analysis suite (internal/lint)
+// as a CI gate:
+//
+//	go run ./cmd/fedilint ./...
+//
+// It prints one line per finding and exits non-zero if any invariant is
+// violated. See LINT.md for the invariant catalogue and the
+// //lint:allow suppression syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flock/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: fedilint [-list] [packages]\n\npackages default to ./... relative to the enclosing module\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	pkgs, err := lint.Load(".", flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedilint:", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "fedilint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

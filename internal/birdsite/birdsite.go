@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"flock/internal/vclock"
 	"flock/internal/world"
 )
 
@@ -46,6 +47,7 @@ type Service struct {
 	mu      sync.Mutex
 	buckets map[string]*bucket
 	limits  Limits
+	now     vclock.NowFunc
 }
 
 // tweetRef locates one tweet in the world.
@@ -79,6 +81,7 @@ func New(w *world.World) *Service {
 		byUsername: make(map[string]*world.User, len(w.Users)),
 		byID:       make(map[string]*world.User, len(w.Users)),
 		buckets:    make(map[string]*bucket),
+		now:        vclock.Wall,
 	}
 	for _, u := range w.Users {
 		s.byUsername[strings.ToLower(u.Username)] = u
@@ -113,6 +116,17 @@ func (s *Service) SetLimits(l Limits) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.limits = l
+}
+
+// SetClock replaces the service's clock (rate-limit windows and reset
+// epochs). nil restores the wall clock.
+func (s *Service) SetClock(now vclock.NowFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now == nil {
+		now = vclock.Wall
+	}
+	s.now = now
 }
 
 func (s *Service) get(ref tweetRef) *world.Tweet {

@@ -101,7 +101,7 @@ func (s *Service) allow(class string, perWindow int) (ok bool, reset time.Time) 
 		win = 15 * time.Minute
 	}
 	b := s.buckets[class]
-	now := time.Now()
+	now := s.now()
 	if b == nil || now.Sub(b.windowStart) >= win {
 		b = &bucket{windowStart: now}
 		s.buckets[class] = b

@@ -68,8 +68,9 @@ type Env struct {
 	stops  []func()
 }
 
-// NewEnv generates the world and brings every service up.
-func NewEnv(cfg world.Config) (*Env, error) {
+// NewEnv generates the world and brings every service up. ctx is the
+// parent lifecycle for service shutdown (see memnet.Fabric.Serve).
+func NewEnv(ctx context.Context, cfg world.Config) (*Env, error) {
 	w, err := world.Generate(cfg)
 	if err != nil {
 		return nil, err
@@ -77,7 +78,7 @@ func NewEnv(cfg world.Config) (*Env, error) {
 	fab := memnet.NewFabric()
 	env := &Env{World: w, Fabric: fab, Client: fab.Client()}
 	serve := func(host string, h http.Handler) error {
-		stop, err := fab.Serve(host, h)
+		stop, err := fab.Serve(ctx, host, h)
 		if err != nil {
 			return err
 		}
@@ -94,7 +95,7 @@ func NewEnv(cfg world.Config) (*Env, error) {
 		return nil, err
 	}
 	env.Fedi = fediverse.New(w)
-	stop, err := env.Fedi.RegisterAll(fab)
+	stop, err := env.Fedi.RegisterAll(ctx, fab)
 	if err != nil {
 		return nil, err
 	}
@@ -184,7 +185,7 @@ func Analyze(ds *crawler.Dataset, cfg Config) *Result {
 
 // Run executes the full pipeline: world, services, crawl, analyses.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
-	env, err := NewEnv(cfg.World)
+	env, err := NewEnv(ctx, cfg.World)
 	if err != nil {
 		return nil, fmt.Errorf("core: environment: %w", err)
 	}

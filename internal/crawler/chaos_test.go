@@ -46,16 +46,16 @@ func newSoakEnv(t testing.TB, nMigrants int, seed uint64) *soakEnv {
 	}
 	fab := memnet.NewFabric()
 	t.Cleanup(func() { fab.Close() })
-	if _, err := fab.Serve(birdsite.Host, birdsite.New(w).Handler()); err != nil {
+	if _, err := fab.Serve(context.Background(), birdsite.Host, birdsite.New(w).Handler()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fab.Serve(indexsvc.Host, indexsvc.New(w).Handler()); err != nil {
+	if _, err := fab.Serve(context.Background(), indexsvc.Host, indexsvc.New(w).Handler()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fab.Serve(toxsvc.Host, toxsvc.New(0).Handler()); err != nil {
+	if _, err := fab.Serve(context.Background(), toxsvc.Host, toxsvc.New(0).Handler()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fediverse.New(w).RegisterAll(fab); err != nil {
+	if _, err := fediverse.New(w).RegisterAll(context.Background(), fab); err != nil {
 		t.Fatal(err)
 	}
 	return &soakEnv{w: w, fab: fab, http: fab.Client()}

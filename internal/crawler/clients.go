@@ -18,10 +18,20 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 	"time"
 
 	"flock/internal/httpkit"
 )
+
+// fallbackDoer backs clients constructed without an explicit Doer. It is
+// a shared httpkit.Client with its own breaker registry rather than raw
+// http.DefaultClient, so even ad-hoc usage gets retries, per-host circuit
+// breaking and health-taxonomy accounting (the rawhttp analyzer in
+// internal/lint forbids the raw fallback).
+var fallbackDoer = sync.OnceValue(func() httpkit.Doer {
+	return &httpkit.Client{Health: httpkit.NewHealthRegistry(httpkit.BreakerPolicy{})}
+})
 
 // TwitterClient wraps the Twitter v2 endpoints the crawl uses.
 type TwitterClient struct {
@@ -283,7 +293,7 @@ func (p *PerspectiveClient) Score(ctx context.Context, text string) (float64, er
 	req.Header.Set("Content-Type", "application/json")
 	doer := p.HTTP
 	if doer == nil {
-		doer = http.DefaultClient
+		doer = fallbackDoer()
 	}
 	resp, err := doer.Do(req)
 	if err != nil {

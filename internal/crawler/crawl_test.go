@@ -18,10 +18,10 @@ import (
 
 // env is the fully assembled simulated internet for crawler tests.
 type env struct {
-	w     *world.World
-	fab   *memnet.Fabric
-	fedi  *fediverse.Service
-	http  *http.Client
+	w    *world.World
+	fab  *memnet.Fabric
+	fedi *fediverse.Service
+	http *http.Client
 }
 
 var shared *env
@@ -35,17 +35,17 @@ func newEnv(t testing.TB, nMigrants int, seed uint64) *env {
 		t.Fatal(err)
 	}
 	fab := memnet.NewFabric()
-	if _, err := fab.Serve(birdsite.Host, birdsite.New(w).Handler()); err != nil {
+	if _, err := fab.Serve(context.Background(), birdsite.Host, birdsite.New(w).Handler()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fab.Serve(indexsvc.Host, indexsvc.New(w).Handler()); err != nil {
+	if _, err := fab.Serve(context.Background(), indexsvc.Host, indexsvc.New(w).Handler()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fab.Serve(toxsvc.Host, toxsvc.New(0).Handler()); err != nil {
+	if _, err := fab.Serve(context.Background(), toxsvc.Host, toxsvc.New(0).Handler()); err != nil {
 		t.Fatal(err)
 	}
 	fedi := fediverse.New(w)
-	if _, err := fedi.RegisterAll(fab); err != nil {
+	if _, err := fedi.RegisterAll(context.Background(), fab); err != nil {
 		t.Fatal(err)
 	}
 	return &env{w: w, fab: fab, fedi: fedi, http: fab.Client()}

@@ -20,6 +20,7 @@
 package fediverse
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"flock/internal/memnet"
+	"flock/internal/vclock"
 	"flock/internal/world"
 )
 
@@ -68,16 +70,17 @@ type statusRef struct {
 
 // Service owns all instance states and the shared handler.
 type Service struct {
-	w       *world.World
-	states  []*instanceState
-	byHost  map[string]*instanceState
+	w      *world.World
+	states []*instanceState
+	byHost map[string]*instanceState
 	// accounts indexed by (instance, user) for cross-linking.
 	accounts map[[2]int]*Account
 
 	mu      sync.Mutex
 	buckets map[string]*bucket
-	limit   int           // requests per window per instance (0 = off)
+	limit   int // requests per window per instance (0 = off)
 	window  time.Duration
+	now     vclock.NowFunc
 }
 
 type bucket struct {
@@ -93,6 +96,7 @@ func New(w *world.World) *Service {
 		accounts: make(map[[2]int]*Account),
 		buckets:  make(map[string]*bucket),
 		window:   5 * time.Minute,
+		now:      vclock.Wall,
 	}
 	for _, inst := range w.Instances {
 		st := &instanceState{
@@ -197,6 +201,24 @@ func (s *Service) buildFederated(i int) {
 	})
 }
 
+// SetClock replaces the service's clock (rate-limit windows and reset
+// headers). nil restores the wall clock.
+func (s *Service) SetClock(now vclock.NowFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now == nil {
+		now = vclock.Wall
+	}
+	s.now = now
+}
+
+// clock reads the service clock under the mutex.
+func (s *Service) clock() vclock.NowFunc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
 // SetRateLimit enables per-instance rate limiting: n requests per window.
 func (s *Service) SetRateLimit(n int, window time.Duration) {
 	s.mu.Lock()
@@ -227,14 +249,14 @@ func (s *Service) AccountFor(instID, userID int) *Account {
 // simulated crawl reaches the timeline phase (the paper's instance
 // deaths happened between discovery and timeline crawl, §3.2). It
 // returns a stop function.
-func (s *Service) RegisterAll(f *memnet.Fabric) (stop func(), err error) {
+func (s *Service) RegisterAll(ctx context.Context, f *memnet.Fabric) (stop func(), err error) {
 	handler := s.Handler()
 	var stops []func()
 	for _, st := range s.states {
 		if st.inst.Domain == "" {
 			continue
 		}
-		sf, err := f.Serve(st.inst.Domain, handler)
+		sf, err := f.Serve(ctx, st.inst.Domain, handler)
 		if err != nil {
 			for _, fn := range stops {
 				fn()

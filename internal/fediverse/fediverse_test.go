@@ -1,6 +1,7 @@
 package fediverse
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -35,7 +36,7 @@ func setup(t testing.TB) {
 	fw = w
 	fsvc = New(w)
 	fab = memnet.NewFabric()
-	if _, err := fsvc.RegisterAll(fab); err != nil {
+	if _, err := fsvc.RegisterAll(context.Background(), fab); err != nil {
 		t.Fatal(err)
 	}
 	cli = fab.Client()
@@ -85,7 +86,7 @@ func TestInstanceInfo(t *testing.T) {
 
 func TestUnknownHost404(t *testing.T) {
 	setup(t)
-	stop, err := fab.Serve("ghost.example", fsvc.Handler())
+	stop, err := fab.Serve(context.Background(), "ghost.example", fsvc.Handler())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func TestDownInstanceUnreachable(t *testing.T) {
 	s := New(w)
 	f := memnet.NewFabric()
 	defer f.Close()
-	if _, err := s.RegisterAll(f); err != nil {
+	if _, err := s.RegisterAll(context.Background(), f); err != nil {
 		t.Fatal(err)
 	}
 	var down *world.Instance
@@ -368,7 +369,7 @@ func TestRateLimit(t *testing.T) {
 	s.SetRateLimit(3, time.Minute)
 	f := memnet.NewFabric()
 	defer f.Close()
-	if _, err := s.RegisterAll(f); err != nil {
+	if _, err := s.RegisterAll(context.Background(), f); err != nil {
 		t.Fatal(err)
 	}
 	c := f.Client()

@@ -95,7 +95,7 @@ func (s *Service) withInstance(h instHandler) http.HandlerFunc {
 		}
 		if !s.allow(host) {
 			w.Header().Set("X-RateLimit-Remaining", "0")
-			w.Header().Set("X-RateLimit-Reset", time.Now().Add(s.window).UTC().Format(timeLayout))
+			w.Header().Set("X-RateLimit-Reset", s.clock()().Add(s.window).UTC().Format(timeLayout))
 			w.Header().Set("Retry-After", strconv.Itoa(int(s.window.Seconds())))
 			writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "Too many requests"})
 			return
@@ -111,7 +111,7 @@ func (s *Service) allow(host string) bool {
 		return true
 	}
 	b := s.buckets[host]
-	now := time.Now()
+	now := s.now()
 	if b == nil || now.Sub(b.start) >= s.window {
 		b = &bucket{start: now}
 		s.buckets[host] = b

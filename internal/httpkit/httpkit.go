@@ -409,6 +409,15 @@ func (c *Client) GetJSON(ctx context.Context, u string, out any) error {
 	return nil
 }
 
+// NewHTTPClient builds the plain *http.Client that backs a Client's Doer.
+// Raw http.Client construction is confined to httpkit (the rawhttp
+// analyzer in internal/lint enforces this) so that every outbound request
+// path in the codebase is assembled in one place and can be wrapped with
+// pacing, retries and per-host circuit breaking.
+func NewHTTPClient(rt http.RoundTripper, timeout time.Duration) *http.Client {
+	return &http.Client{Transport: rt, Timeout: timeout}
+}
+
 // BuildURL assembles scheme://host/path?query from parts, escaping query
 // values.
 func BuildURL(scheme, host, path string, query url.Values) string {

@@ -1,0 +1,83 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis driver model, shaped so fedilint's
+// analyzers would port to the real framework unchanged in spirit:
+// an Analyzer has a name, a doc string and a Run function over a Pass;
+// the Pass exposes the parsed files and a Report sink.
+//
+// The suite is purely syntactic (go/ast + go/parser, no go/types): every
+// invariant it checks is about which package-level identifiers a file
+// reaches for (time.Now, http.DefaultClient, ...), which import-alias
+// resolution plus the parser's object resolution answers precisely enough.
+// Keeping the framework stdlib-only means `go run ./cmd/fedilint ./...`
+// works in a hermetic build with no module downloads.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run inspects a package and reports violations via pass.Report.
+	Run func(*Pass) error
+}
+
+// Package is one parsed package: every .go file of a directory,
+// test files included.
+type Package struct {
+	// Path is the import path ("flock/internal/store"). Fixture packages
+	// use their testdata-relative path ("walltime/store").
+	Path string
+	// Dir is the absolute directory the files were read from.
+	Dir string
+	// Fset positions all files.
+	Fset *token.FileSet
+	// Files holds the parsed files, comments included.
+	Files []*ast.File
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	// Report receives each diagnostic. The driver wires this.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos falls in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Pkg.Fset.Position(pos).Filename, "_test.go")
+}
+
+// PathHasSegment reports whether the package path contains seg as a whole
+// "/"-separated element (so "store" matches "flock/internal/store" but
+// not "flock/internal/storefront").
+func (p *Package) PathHasSegment(segs ...string) bool {
+	for part := range strings.SplitSeq(p.Path, "/") {
+		for _, s := range segs {
+			if part == s {
+				return true
+			}
+		}
+	}
+	return false
+}

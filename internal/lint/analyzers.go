@@ -1,0 +1,88 @@
+// Package lint is fedilint: the repo's own static-analysis suite.
+//
+// The reproduction's headline numbers rest on invariants the compiler
+// cannot see: simulated services must read time through vclock, all
+// randomness must flow through seeded randx sources, every outbound HTTP
+// request must pass through httpkit.Client so the per-host circuit
+// breakers and HealthRegistry taxonomy account for every failure,
+// library code must propagate caller contexts, and dataset/checkpoint
+// writes must be atomic. Each analyzer mechanically enforces one of
+// those conventions; cmd/fedilint runs the suite and CI gates on it.
+// See LINT.md for the invariant catalogue and the suppression syntax.
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"flock/internal/lint/analysis"
+)
+
+// Analyzers returns the full fedilint suite.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{Walltime, SeededRand, RawHTTP, CtxFlow, AtomicFile}
+}
+
+// importedAs returns the identifier by which f refers to the import of
+// pkgPath: the explicit alias if any, else the path's base element. ok is
+// false when f does not import pkgPath.
+func importedAs(f *ast.File, pkgPath string) (name string, ok bool) {
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != pkgPath {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name, true
+		}
+		return pathBase(p), true
+	}
+	return "", false
+}
+
+// pathBase guesses the package name of an import path: the last element,
+// skipping major-version suffixes ("math/rand/v2" -> "rand").
+func pathBase(path string) string {
+	elems := strings.Split(path, "/")
+	base := elems[len(elems)-1]
+	if len(elems) > 1 && len(base) > 1 && base[0] == 'v' && strings.TrimLeft(base[1:], "0123456789") == "" {
+		base = elems[len(elems)-2]
+	}
+	return base
+}
+
+// pkgSel reports whether e is a qualified reference pkg.Sel into the
+// import of pkgPath within file f, returning the selected name. It
+// rejects selectors whose qualifier resolves to a local object (a
+// variable shadowing the package name): the parser's object resolution
+// leaves genuine package qualifiers unresolved (Obj == nil).
+func pkgSel(f *ast.File, e ast.Expr, pkgPath string) (sel string, ok bool) {
+	s, isSel := e.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	x, isIdent := s.X.(*ast.Ident)
+	if !isIdent {
+		return "", false
+	}
+	name, imported := importedAs(f, pkgPath)
+	if !imported || x.Name != name {
+		return "", false
+	}
+	if x.Obj != nil && x.Obj.Kind != ast.Pkg {
+		return "", false
+	}
+	return s.Sel.Name, true
+}
+
+// eachFile runs fn over every non-test file of the pass (or every file
+// when includeTests is set).
+func eachFile(pass *analysis.Pass, includeTests bool, fn func(*ast.File)) {
+	for _, f := range pass.Pkg.Files {
+		if !includeTests && pass.InTestFile(f.Pos()) {
+			continue
+		}
+		fn(f)
+	}
+}

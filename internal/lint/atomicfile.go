@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"go/ast"
+
+	"flock/internal/lint/analysis"
+)
+
+// AtomicFile forbids direct os.WriteFile/os.Create in internal/store. A
+// crash mid-write would leave a torn dataset or checkpoint that a
+// resumed crawl then trusts; the package's atomicWriteFile helper
+// (sibling temp file + rename) makes every write all-or-nothing, so all
+// writes must go through it.
+var AtomicFile = &analysis.Analyzer{
+	Name: "atomicfile",
+	Doc:  "forbid direct os.WriteFile/os.Create on dataset/checkpoint paths in internal/store; use the atomic temp-file+rename helper",
+	Run: func(pass *analysis.Pass) error {
+		if !pass.Pkg.PathHasSegment("store") {
+			return nil
+		}
+		eachFile(pass, false, func(f *ast.File) {
+			ast.Inspect(f, func(n ast.Node) bool {
+				e, isExpr := n.(ast.Expr)
+				if !isExpr {
+					return true
+				}
+				if sel, ok := pkgSel(f, e, "os"); ok && (sel == "WriteFile" || sel == "Create") {
+					pass.Reportf(n.Pos(), "os.%s can tear a dataset or checkpoint on crash; write through atomicWriteFile (temp file + rename) instead", sel)
+					return false
+				}
+				return true
+			})
+		})
+		return nil
+	},
+}

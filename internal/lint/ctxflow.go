@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"go/ast"
+
+	"flock/internal/lint/analysis"
+)
+
+// CtxFlow forbids context.Background() and context.TODO() in internal/
+// library code. A fresh root context detaches the work from its caller:
+// cancellation no longer propagates, so a cancelled crawl can leave
+// dials, retries and shutdowns running. Library code must thread the
+// caller's ctx; only mains and tests (both exempt) may mint roots.
+var CtxFlow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "forbid context.Background/context.TODO in internal library code; propagate the caller's context",
+	Run: func(pass *analysis.Pass) error {
+		if !pass.Pkg.PathHasSegment("internal") {
+			return nil
+		}
+		eachFile(pass, false, func(f *ast.File) {
+			if f.Name.Name == "main" {
+				return
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := pkgSel(f, call.Fun, "context"); ok && (sel == "Background" || sel == "TODO") {
+					pass.Reportf(call.Pos(), "context.%s() detaches library code from its caller's cancellation; accept and propagate a ctx parameter instead", sel)
+					return false
+				}
+				return true
+			})
+		})
+		return nil
+	},
+}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"flock/internal/lint/analysis"
+)
+
+// Finding is one diagnostic surviving suppression, with its position
+// resolved.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// driverName attributes findings produced by the driver itself
+// (malformed or unknown //lint:allow directives).
+const driverName = "fedilint"
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+}
+
+// Run executes the analyzers over the packages and returns the findings
+// that survive //lint:allow suppression, sorted by position.
+//
+// Suppression syntax:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the offending line or on the line directly above it. The
+// reason is mandatory — a suppression without a recorded justification is
+// itself reported — as is a directive naming an unknown analyzer, so the
+// suppression inventory stays auditable.
+func Run(pkgs []*analysis.Package, analyzers []*analysis.Analyzer) []Finding {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		allows, bad := scanDirectives(pkg, known)
+		findings = append(findings, bad...)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				Report: func(d analysis.Diagnostic) {
+					pos := pkg.Fset.Position(d.Pos)
+					if allowed(allows, a.Name, pos) {
+						return
+					}
+					findings = append(findings, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message})
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				findings = append(findings, Finding{Analyzer: a.Name, Message: "analyzer error: " + err.Error()})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// lineKey identifies one source line.
+type lineKey struct {
+	file string
+	line int
+}
+
+// scanDirectives collects every //lint:allow directive in the package,
+// keyed by line, and reports malformed or unknown-analyzer directives.
+func scanDirectives(pkg *analysis.Package, known map[string]bool) (map[lineKey][]allowDirective, []Finding) {
+	allows := map[lineKey][]allowDirective{}
+	var bad []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Finding{Pos: pos, Analyzer: driverName,
+						Message: "malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\""})
+				case !known[fields[0]]:
+					bad = append(bad, Finding{Pos: pos, Analyzer: driverName,
+						Message: fmt.Sprintf("//lint:allow names unknown analyzer %q", fields[0])})
+				case len(fields) < 2:
+					bad = append(bad, Finding{Pos: pos, Analyzer: driverName,
+						Message: fmt.Sprintf("//lint:allow %s is missing its reason; suppressions must record why", fields[0])})
+				default:
+					allows[lineKey{pos.Filename, pos.Line}] = append(allows[lineKey{pos.Filename, pos.Line}],
+						allowDirective{analyzer: fields[0], reason: strings.Join(fields[1:], " ")})
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// allowed reports whether a well-formed directive for analyzer covers
+// pos: same line, or the line directly above.
+func allowed(allows map[lineKey][]allowDirective, analyzer string, pos token.Position) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range allows[lineKey{pos.Filename, line}] {
+			if d.analyzer == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+// Package linttest runs fedilint analyzers over fixture packages, in the
+// style of golang.org/x/tools/go/analysis/analysistest: fixture files
+// mark expected diagnostics with trailing comments of the form
+//
+//	// want "regexp" "another regexp"
+//
+// and the runner fails the test for any unmatched expectation or any
+// unexpected diagnostic. Fixtures run through the real driver, so
+// //lint:allow suppression is exercised exactly as in production.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"flock/internal/lint"
+	"flock/internal/lint/analysis"
+)
+
+// wantRe matches the quoted patterns of a want comment: double-quoted or
+// backquoted, as in analysistest.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// Run loads the fixture package at srcRoot/pkgpath (which also becomes
+// its package path, so analyzer scoping applies) and checks the
+// analyzers' findings against the package's want comments.
+func Run(t *testing.T, srcRoot, pkgpath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkg, err := lint.LoadFixture(srcRoot, pkgpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type expectation struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := map[string][]*expectation{} // "file:line" -> expectations
+	key := func(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
+					pat := m[1]
+					if m[2] != "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants[key(pos.Filename, pos.Line)] = append(wants[key(pos.Filename, pos.Line)], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	for _, f := range lint.Run([]*analysis.Package{pkg}, analyzers) {
+		k := key(f.Pos.Filename, f.Pos.Line)
+		found := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic %s", f)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.re)
+			}
+		}
+	}
+}

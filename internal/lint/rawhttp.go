@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+
+	"flock/internal/lint/analysis"
+)
+
+// rawhttpFuncs are the net/http convenience entry points that issue
+// outbound requests on the package-global client.
+var rawhttpFuncs = map[string]bool{"Get": true, "Post": true, "PostForm": true, "Head": true}
+
+// RawHTTP forbids ad-hoc outbound HTTP outside internal/httpkit:
+// http.Get/Post/PostForm/Head, any use of http.DefaultClient, and
+// http.Client composite literals. Every outbound request must flow
+// through httpkit.Client so the per-host circuit breakers and the
+// HealthRegistry error taxonomy see it — a request that bypasses them
+// silently corrupts the crawl's coverage accounting. Test files are
+// exempt (they often drive httptest servers directly).
+var RawHTTP = &analysis.Analyzer{
+	Name: "rawhttp",
+	Doc:  "forbid raw outbound HTTP (http.Get/Post, http.DefaultClient, http.Client literals) outside internal/httpkit",
+	Run: func(pass *analysis.Pass) error {
+		if pass.Pkg.PathHasSegment("httpkit") {
+			return nil
+		}
+		eachFile(pass, false, func(f *ast.File) {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.CompositeLit); ok && lit.Type != nil {
+					if sel, ok := pkgSel(f, lit.Type, "net/http"); ok && sel == "Client" {
+						pass.Reportf(lit.Pos(), "http.Client literal outside internal/httpkit bypasses breaker/health accounting; build clients with httpkit.NewHTTPClient and wrap them in httpkit.Client")
+						return false
+					}
+				}
+				e, isExpr := n.(ast.Expr)
+				if !isExpr {
+					return true
+				}
+				sel, ok := pkgSel(f, e, "net/http")
+				if !ok {
+					return true
+				}
+				switch {
+				case rawhttpFuncs[sel]:
+					pass.Reportf(n.Pos(), "http.%s issues an outbound request outside httpkit; route it through httpkit.Client so breakers and the health taxonomy account for it", sel)
+					return false
+				case sel == "DefaultClient":
+					pass.Reportf(n.Pos(), "http.DefaultClient bypasses the per-host circuit breakers; use an httpkit.Client (its nil-Doer fallback is breaker-wrapped)")
+					return false
+				}
+				return true
+			})
+		})
+		return nil
+	},
+}

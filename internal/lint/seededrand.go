@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+
+	"flock/internal/lint/analysis"
+)
+
+// randPkgs are the stdlib random packages whose use is confined to
+// internal/randx.
+var randPkgs = []string{"math/rand", "math/rand/v2"}
+
+// SeededRand forbids math/rand (global-state functions and ad-hoc
+// sources) outside internal/randx. Everything in flock must reproduce
+// from a single 64-bit seed; randx.Source streams split hierarchically
+// (world -> per-user -> per-day) so adding entities does not perturb
+// existing streams — properties math/rand's shared state cannot give.
+// Applies to test files too: a test that shuffles with math/rand is as
+// unreproducible as production code that does.
+var SeededRand = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid math/rand outside internal/randx; derive seeded randx.Source streams (Split/SplitN) instead",
+	Run: func(pass *analysis.Pass) error {
+		if pass.Pkg.PathHasSegment("randx") {
+			return nil
+		}
+		eachFile(pass, true, func(f *ast.File) {
+			// Blank and dot imports smuggle the package in without a
+			// traceable qualifier; flag the import itself.
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil || !isRandPath(p) {
+					continue
+				}
+				if imp.Name != nil && (imp.Name.Name == "_" || imp.Name.Name == ".") {
+					pass.Reportf(imp.Pos(), "%s import of %s outside internal/randx breaks seeded reproducibility", imp.Name.Name, p)
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				e, isExpr := n.(ast.Expr)
+				if !isExpr {
+					return true
+				}
+				for _, p := range randPkgs {
+					if sel, ok := pkgSel(f, e, p); ok {
+						pass.Reportf(n.Pos(), "rand.%s uses %s outside internal/randx; derive a seeded randx.Source (Split/SplitN) so streams reproduce from the world seed", sel, p)
+						return false
+					}
+				}
+				return true
+			})
+		})
+		return nil
+	},
+}
+
+func isRandPath(p string) bool {
+	for _, rp := range randPkgs {
+		if p == rp {
+			return true
+		}
+	}
+	return false
+}

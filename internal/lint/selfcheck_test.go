@@ -1,0 +1,24 @@
+package lint_test
+
+import (
+	"testing"
+
+	"flock/internal/lint"
+)
+
+// TestRepoInvariants runs the full fedilint suite over the repository
+// itself, mirroring the CI gate: the tree must be free of diagnostics.
+// New violations should be fixed, not suppressed; a //lint:allow needs a
+// reason that survives review.
+func TestRepoInvariants(t *testing.T) {
+	pkgs, err := lint.Load(".", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, f := range lint.Run(pkgs, lint.Analyzers()) {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,19 @@
+// Fixture: //lint:allow suppression, both placements. The directive must
+// name the analyzer and carry a reason; it silences the same line or the
+// line directly below.
+package store
+
+import "time"
+
+func stamped() time.Time {
+	//lint:allow walltime operator-facing log stamp, never enters the simulation
+	return time.Now()
+}
+
+func sameLine() time.Time {
+	return time.Now() //lint:allow walltime demo of same-line suppression
+}
+
+func unsuppressed() time.Time {
+	return time.Now() // want `time.Now in a simulated-service package`
+}

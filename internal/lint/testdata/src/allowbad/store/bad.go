@@ -1,0 +1,18 @@
+// Fixture: malformed //lint:allow directives are findings themselves —
+// a reasonless or unknown-analyzer suppression is not auditable and must
+// not suppress anything. Checked by TestDirectiveValidation, which
+// asserts on driver output directly (the directive findings land on the
+// directive's own line, where a want comment cannot ride).
+package store
+
+import "time"
+
+func reasonless() time.Time {
+	//lint:allow walltime
+	return time.Now()
+}
+
+func unknownAnalyzer() time.Time {
+	//lint:allow sundial because the analyzer name is wrong
+	return time.Now()
+}

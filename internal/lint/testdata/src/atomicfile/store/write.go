@@ -1,0 +1,18 @@
+// Fixture: atomicfile must catch direct writes in store packages; the
+// temp-file+rename building blocks stay legal.
+package store
+
+import "os"
+
+func save(data []byte) {
+	_ = os.WriteFile("dataset/manifest.json", data, 0o644) // want `os.WriteFile can tear a dataset or checkpoint`
+	f, _ := os.Create("dataset/rows.jsonl.gz")             // want `os.Create can tear a dataset or checkpoint`
+	_ = f
+}
+
+func atomicPathIsFine(data []byte) {
+	tmp, _ := os.CreateTemp("dataset", "manifest.json.tmp*")
+	_, _ = tmp.Write(data)
+	_ = tmp.Close()
+	_ = os.Rename(tmp.Name(), "dataset/manifest.json")
+}

@@ -1,0 +1,10 @@
+// Mains own their lifecycle and may mint root contexts; ctxflow exempts
+// package main even under internal/.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

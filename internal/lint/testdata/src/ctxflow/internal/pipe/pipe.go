@@ -1,0 +1,19 @@
+// Fixture: ctxflow must catch fresh root contexts in internal library
+// code; passing a caller ctx through is the sanctioned shape.
+package pipe
+
+import "context"
+
+func detached() {
+	ctx := context.Background() // want `context.Background\(\) detaches library code`
+	_ = ctx
+	ctx2, cancel := context.WithTimeout(context.TODO(), 0) // want `context.TODO\(\) detaches library code`
+	defer cancel()
+	_ = ctx2
+}
+
+func propagated(ctx context.Context) context.Context {
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return child
+}

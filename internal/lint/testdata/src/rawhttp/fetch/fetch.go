@@ -1,0 +1,23 @@
+// Fixture: rawhttp must catch convenience calls, the default client and
+// ad-hoc client literals; servers and request construction stay legal.
+package fetch
+
+import "net/http"
+
+func fetch() {
+	resp, _ := http.Get("https://mastodon.test/api/v1/instance") // want `http.Get issues an outbound request outside httpkit`
+	_ = resp
+	_, _ = http.Post("https://perspective.test/v1alpha1/comments:analyze", "application/json", nil) // want `http.Post issues an outbound request`
+	c := &http.Client{Timeout: 0}                                                                   // want `http.Client literal outside internal/httpkit`
+	_ = c
+	d := http.DefaultClient // want `http.DefaultClient bypasses the per-host circuit breakers`
+	_ = d
+}
+
+func serverSideIsFine() {
+	// Inbound plumbing does not go through breakers; only outbound does.
+	mux := http.NewServeMux()
+	mux.Handle("/", http.NotFoundHandler())
+	req, _ := http.NewRequest(http.MethodGet, "https://x.test/", nil)
+	_ = req
+}

@@ -1,0 +1,10 @@
+// Test files may drive servers directly; rawhttp exempts them.
+package fetch
+
+import "net/http"
+
+func fetchInTest() {
+	resp, _ := http.Get("https://httptest.local/")
+	_ = resp
+	_ = http.DefaultClient
+}

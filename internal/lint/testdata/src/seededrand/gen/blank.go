@@ -1,0 +1,3 @@
+package gen
+
+import _ "math/rand" // want `_ import of math/rand outside internal/randx`

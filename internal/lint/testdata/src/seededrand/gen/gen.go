@@ -1,0 +1,16 @@
+// Fixture: seededrand must catch math/rand and math/rand/v2 usage under
+// any alias, including test files (reproducibility applies there too).
+package gen
+
+import (
+	"math/rand"
+	mrand "math/rand/v2"
+)
+
+func roll() int {
+	rand.Seed(42)                      // want `rand.Seed uses math/rand outside internal/randx`
+	x := rand.Intn(10)                 // want `rand.Intn uses math/rand outside internal/randx`
+	y := mrand.IntN(10)                // want `rand.IntN uses math/rand/v2 outside internal/randx`
+	src := rand.New(rand.NewSource(1)) // want `rand.New uses math/rand` `rand.NewSource uses math/rand`
+	return x + y + src.Int()
+}

@@ -1,0 +1,32 @@
+// Fixture: the walltime analyzer must catch every wall-clock entry point
+// in a scoped package ("store" segment), including aliased references,
+// and must not be fooled by locals shadowing the package name.
+package store
+
+import "time"
+
+func windows() {
+	now := time.Now()            // want `time.Now in a simulated-service package breaks replayability`
+	_ = time.Since(now)          // want `time.Since in a simulated-service package`
+	time.Sleep(time.Millisecond) // want `time.Sleep in a simulated-service package`
+}
+
+func aliased() {
+	clock := time.Now // want `time.Now in a simulated-service package`
+	_ = clock
+}
+
+type fakeClock struct{}
+
+func (fakeClock) Now() int { return 0 }
+
+func shadowed() {
+	time := fakeClock{}
+	_ = time.Now() // no diagnostic: "time" is a local, not the package
+}
+
+func harmless() {
+	// Non-clock uses of the time package are fine.
+	_ = time.Duration(5) * time.Second
+	_ = time.Date(2022, 10, 27, 0, 0, 0, 0, time.UTC)
+}

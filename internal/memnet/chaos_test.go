@@ -42,7 +42,7 @@ func TestChaosDialFailDeterministic(t *testing.T) {
 		f.SetChaos("a.test", &ChaosSpec{Seed: 7, PDialFail: 0.5})
 		var out []bool
 		for i := 0; i < 40; i++ {
-			c, err := f.Dial("a.test")
+			c, err := f.DialContext(context.Background(), "a.test")
 			out = append(out, err == nil)
 			if c != nil {
 				c.Close()
@@ -84,7 +84,7 @@ func TestChaosFlapWindows(t *testing.T) {
 	f.SetChaos("flap.test", &ChaosSpec{Seed: 1, FlapUpDials: 3, FlapDownDials: 2})
 	var got []bool
 	for i := 0; i < 10; i++ {
-		c, err := f.Dial("flap.test")
+		c, err := f.DialContext(context.Background(), "flap.test")
 		if err != nil && !errors.Is(err, ErrFlapDown) {
 			t.Fatalf("dial %d: unexpected error %v", i, err)
 		}
@@ -108,7 +108,7 @@ func TestChaosFlapWindows(t *testing.T) {
 func TestChaosResetMidConnection(t *testing.T) {
 	f := NewFabric()
 	defer f.Close()
-	stop, err := f.Serve("reset.test", echoHandler(1<<20))
+	stop, err := f.Serve(context.Background(), "reset.test", echoHandler(1<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestChaosResetMidConnection(t *testing.T) {
 func TestChaosThrottleSlowsTransfer(t *testing.T) {
 	f := NewFabric()
 	defer f.Close()
-	stop, err := f.Serve("slow.test", echoHandler(64<<10))
+	stop, err := f.Serve(context.Background(), "slow.test", echoHandler(64<<10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +216,7 @@ func TestRandomStormSeededAndApplied(t *testing.T) {
 		if !f.IsDown(h) {
 			t.Fatalf("dead host %s not down after Apply", h)
 		}
-		if _, err := f.Dial(h); !errors.Is(err, ErrHostDown) {
+		if _, err := f.DialContext(context.Background(), h); !errors.Is(err, ErrHostDown) {
 			t.Fatalf("dial of dead host %s: %v", h, err)
 		}
 	}

@@ -27,6 +27,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"flock/internal/httpkit"
 )
 
 // ErrHostDown is returned by Dial for hosts marked down.
@@ -102,13 +104,11 @@ func (f *Fabric) Listen(host string) (net.Listener, error) {
 	return l, nil
 }
 
-// Dial connects to host (any ":port" suffix is ignored).
-func (f *Fabric) Dial(host string) (net.Conn, error) {
-	return f.DialContext(context.Background(), host)
-}
-
-// DialContext connects to host, honouring ctx cancellation and injected
-// faults.
+// DialContext connects to host (any ":port" suffix is ignored), honouring
+// ctx cancellation and injected faults. There is deliberately no
+// context-free Dial: every dial is on behalf of some caller whose
+// cancellation must propagate (the ctxflow analyzer in internal/lint
+// keeps it that way).
 func (f *Fabric) DialContext(ctx context.Context, host string) (net.Conn, error) {
 	host = canonical(host)
 	f.mu.Lock()
@@ -293,12 +293,15 @@ func (f *Fabric) Transport() http.RoundTripper {
 
 // Client returns an *http.Client routed over the fabric.
 func (f *Fabric) Client() *http.Client {
-	return &http.Client{Transport: f.Transport(), Timeout: 30 * time.Second}
+	return httpkit.NewHTTPClient(f.Transport(), 30*time.Second)
 }
 
 // Serve starts an HTTP server for handler on host. It returns a stop
-// function. Serving runs until stop is called or the fabric closes.
-func (f *Fabric) Serve(host string, handler http.Handler) (stop func(), err error) {
+// function. Serving runs until stop is called or the fabric closes; ctx
+// is the parent lifecycle for the graceful shutdown stop performs (the
+// grace period survives ctx's own cancellation, so stopping after a
+// cancelled run still drains cleanly).
+func (f *Fabric) Serve(ctx context.Context, host string, handler http.Handler) (stop func(), err error) {
 	l, err := f.Listen(host)
 	if err != nil {
 		return nil, err
@@ -311,9 +314,9 @@ func (f *Fabric) Serve(host string, handler http.Handler) (stop func(), err erro
 	var once sync.Once
 	return func() {
 		once.Do(func() {
-			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			sctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
 			defer cancel()
-			_ = srv.Shutdown(ctx)
+			_ = srv.Shutdown(sctx)
 			_ = l.Close()
 		})
 	}, nil

@@ -32,7 +32,7 @@ func TestListenDialRoundTrip(t *testing.T) {
 		}
 		c.Write([]byte("pong:" + string(buf)))
 	}()
-	c, err := f.Dial("example.com")
+	c, err := f.DialContext(context.Background(), "example.com")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestListenDialRoundTrip(t *testing.T) {
 func TestDialUnknownHost(t *testing.T) {
 	f := NewFabric()
 	defer f.Close()
-	_, err := f.Dial("nope.example")
+	_, err := f.DialContext(context.Background(), "nope.example")
 	if !errors.Is(err, ErrNoSuchHost) {
 		t.Fatalf("err = %v, want ErrNoSuchHost", err)
 	}
@@ -71,7 +71,7 @@ func TestDialStripsPortAndCase(t *testing.T) {
 			c.Close()
 		}
 	}()
-	c, err := f.Dial("MASTODON.SOCIAL:443")
+	c, err := f.DialContext(context.Background(), "MASTODON.SOCIAL:443")
 	if err != nil {
 		t.Fatalf("dial with port/case failed: %v", err)
 	}
@@ -99,7 +99,7 @@ func TestHostDown(t *testing.T) {
 	if !f.IsDown("down.example") {
 		t.Fatal("IsDown = false")
 	}
-	_, err := f.Dial("down.example")
+	_, err := f.DialContext(context.Background(), "down.example")
 	if !errors.Is(err, ErrHostDown) {
 		t.Fatalf("err = %v, want ErrHostDown", err)
 	}
@@ -111,7 +111,7 @@ func TestHostDown(t *testing.T) {
 			c.Close()
 		}
 	}()
-	if _, err := f.Dial("down.example"); err != nil {
+	if _, err := f.DialContext(context.Background(), "down.example"); err != nil {
 		t.Fatalf("dial after recovery failed: %v", err)
 	}
 }
@@ -135,7 +135,7 @@ func TestFaultInjection(t *testing.T) {
 	f.SetFault("flaky.example", &Fault{FailEvery: 2})
 	var fails int
 	for i := 0; i < 10; i++ {
-		c, err := f.Dial("flaky.example")
+		c, err := f.DialContext(context.Background(), "flaky.example")
 		if err != nil {
 			fails++
 			continue
@@ -146,7 +146,7 @@ func TestFaultInjection(t *testing.T) {
 		t.Fatalf("FailEvery=2 produced %d failures in 10 dials, want 5", fails)
 	}
 	f.SetFault("flaky.example", nil)
-	if c, err := f.Dial("flaky.example"); err != nil {
+	if c, err := f.DialContext(context.Background(), "flaky.example"); err != nil {
 		t.Fatalf("dial after clearing fault: %v", err)
 	} else {
 		c.Close()
@@ -176,7 +176,7 @@ func TestFabricClose(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Dial("x.example"); !errors.Is(err, ErrFabricClosed) {
+	if _, err := f.DialContext(context.Background(), "x.example"); !errors.Is(err, ErrFabricClosed) {
 		t.Fatalf("dial after close: %v", err)
 	}
 	if _, err := f.Listen("y.example"); !errors.Is(err, ErrFabricClosed) {
@@ -192,7 +192,7 @@ func TestListenerCloseUnbinds(t *testing.T) {
 		t.Fatal(err)
 	}
 	l.Close()
-	if _, err := f.Dial("gone.example"); !errors.Is(err, ErrNoSuchHost) {
+	if _, err := f.DialContext(context.Background(), "gone.example"); !errors.Is(err, ErrNoSuchHost) {
 		t.Fatalf("dial after listener close: %v", err)
 	}
 	// Host can be rebound after close.
@@ -229,7 +229,7 @@ func TestHTTPOverFabric(t *testing.T) {
 	mux.HandleFunc("/api/v1/instance", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, `{"uri":%q}`, r.Host)
 	})
-	stop, err := f.Serve("inst.example", mux)
+	stop, err := f.Serve(context.Background(), "inst.example", mux)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +263,7 @@ func TestManyHostsConcurrentHTTP(t *testing.T) {
 		mux.HandleFunc("/whoami", func(w http.ResponseWriter, r *http.Request) {
 			io.WriteString(w, h)
 		})
-		stop, err := f.Serve(host, mux)
+		stop, err := f.Serve(context.Background(), host, mux)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -299,7 +299,7 @@ func TestManyHostsConcurrentHTTP(t *testing.T) {
 func TestServeStopIdempotent(t *testing.T) {
 	f := NewFabric()
 	defer f.Close()
-	stop, err := f.Serve("once.example", http.NotFoundHandler())
+	stop, err := f.Serve(context.Background(), "once.example", http.NotFoundHandler())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +314,7 @@ func BenchmarkHTTPRequest(b *testing.B) {
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok")
 	})
-	stop, err := f.Serve("bench.example", mux)
+	stop, err := f.Serve(context.Background(), "bench.example", mux)
 	if err != nil {
 		b.Fatal(err)
 	}

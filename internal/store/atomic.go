@@ -1,0 +1,35 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// atomicWriteFile writes path by streaming write into a sibling temp file
+// and renaming it over path. A crash mid-write leaves either the old file
+// or nothing — never a torn dataset or checkpoint. All store writes go
+// through here (the atomicfile analyzer in internal/lint enforces it).
+func atomicWriteFile(path string, perm os.FileMode, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: temp for %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: chmod %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: commit %s: %w", path, err)
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"compress/gzip"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -52,27 +53,16 @@ func (f *FileCheckpoint) Save(prog *crawler.Progress) error {
 	if err := os.MkdirAll(filepath.Dir(f.Path), 0o755); err != nil {
 		return fmt.Errorf("store: checkpoint dir: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(f.Path), filepath.Base(f.Path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("store: checkpoint temp: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	zw := gzip.NewWriter(tmp)
-	if err := json.NewEncoder(zw).Encode(prog); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: encode checkpoint: %w", err)
-	}
-	if err := zw.Close(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: flush checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: close checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), f.Path); err != nil {
-		return fmt.Errorf("store: commit checkpoint: %w", err)
-	}
-	return nil
+	return atomicWriteFile(f.Path, 0o644, func(w io.Writer) error {
+		zw := gzip.NewWriter(w)
+		if err := json.NewEncoder(zw).Encode(prog); err != nil {
+			return fmt.Errorf("store: encode checkpoint: %w", err)
+		}
+		if err := zw.Close(); err != nil {
+			return fmt.Errorf("store: flush checkpoint: %w", err)
+		}
+		return nil
+	})
 }
 
 // Clear removes the checkpoint file (missing is fine).

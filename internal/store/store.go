@@ -17,12 +17,14 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
 
 	"flock/internal/crawler"
 	"flock/internal/match"
+	"flock/internal/vclock"
 )
 
 // Anonymizer maps identifiers to stable pseudonyms.
@@ -163,14 +165,21 @@ type activityRow struct {
 	Weeks  []crawler.WeekActivity `json:"weeks"`
 }
 
-// Save writes the dataset to dir (created if missing).
+// Save writes the dataset to dir (created if missing), stamping the
+// manifest with the wall clock.
 func Save(dir string, ds *crawler.Dataset, anonymized bool) error {
+	return SaveAt(dir, ds, anonymized, vclock.Wall())
+}
+
+// SaveAt is Save with an explicit manifest timestamp, so replays driven
+// by a virtual clock produce byte-identical datasets.
+func SaveAt(dir string, ds *crawler.Dataset, anonymized bool, at time.Time) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	var m Manifest
 	m.Version = 1
-	m.CreatedAt = time.Now().UTC()
+	m.CreatedAt = at.UTC()
 	m.Anonymized = anonymized
 	m.Counts.Instances = len(ds.Instances)
 	m.Counts.Tweets = len(ds.CollectedTweets)
@@ -179,7 +188,11 @@ func Save(dir string, ds *crawler.Dataset, anonymized bool) error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(dir, manifestFile), mb, 0o644); err != nil {
+	err = atomicWriteFile(filepath.Join(dir, manifestFile), 0o644, func(w io.Writer) error {
+		_, werr := w.Write(mb)
+		return werr
+	})
+	if err != nil {
 		return err
 	}
 
@@ -285,28 +298,23 @@ func Load(dir string) (*crawler.Dataset, *Manifest, error) {
 	return ds, &m, nil
 }
 
-// writeJSONL writes one JSON document per line, gzip-compressed.
+// writeJSONL writes one JSON document per line, gzip-compressed, via an
+// atomic temp-file+rename.
 func writeJSONL[T any](path string, rows []T) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	defer f.Close()
-	gz := gzip.NewWriter(f)
-	bw := bufio.NewWriter(gz)
-	enc := json.NewEncoder(bw)
-	for i := range rows {
-		if err := enc.Encode(&rows[i]); err != nil {
-			return fmt.Errorf("store: encoding %s: %w", path, err)
+	return atomicWriteFile(path, 0o644, func(w io.Writer) error {
+		gz := gzip.NewWriter(w)
+		bw := bufio.NewWriter(gz)
+		enc := json.NewEncoder(bw)
+		for i := range rows {
+			if err := enc.Encode(&rows[i]); err != nil {
+				return fmt.Errorf("store: encoding %s: %w", path, err)
+			}
 		}
-	}
-	if err := bw.Flush(); err != nil {
-		return err
-	}
-	if err := gz.Close(); err != nil {
-		return err
-	}
-	return f.Close()
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		return gz.Close()
+	})
 }
 
 // readJSONL reads a gzip JSONL file into out (a pointer to a slice).

@@ -22,12 +22,12 @@ func sampleDataset() *crawler.Dataset {
 	}
 	ds.Pairs = []crawler.AccountPair{
 		{
-			TwitterID:       "7",
-			TwitterUsername: "alice",
-			Handle:          match.Handle{Username: "alice", Domain: "mastodon.social"},
-			MatchSource:     match.SourceTweet,
-			SameUsername:    true,
-			MastodonVerified: true,
+			TwitterID:         "7",
+			TwitterUsername:   "alice",
+			Handle:            match.Handle{Username: "alice", Domain: "mastodon.social"},
+			MatchSource:       match.SourceTweet,
+			SameUsername:      true,
+			MastodonVerified:  true,
 			MastodonAccountID: "9001",
 			MastodonCreatedAt: at,
 			Moved: &crawler.MovedRecord{

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"flock/internal/textkit"
+	"flock/internal/vclock"
 )
 
 // Host is the hostname the scorer binds on the fabric.
@@ -106,15 +107,27 @@ func jitter(text string) float64 {
 
 // Service is the HTTP scorer with a QPS limit.
 type Service struct {
-	mu        sync.Mutex
-	qps       int
-	winStart  time.Time
-	winCount  int
+	mu       sync.Mutex
+	qps      int
+	winStart time.Time
+	winCount int
+	now      vclock.NowFunc
 }
 
 // New returns a scorer allowing qps requests per second (0 = unlimited).
 func New(qps int) *Service {
-	return &Service{qps: qps}
+	return &Service{qps: qps, now: vclock.Wall}
+}
+
+// SetClock replaces the service's clock (QPS windowing). nil restores the
+// wall clock.
+func (s *Service) SetClock(now vclock.NowFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now == nil {
+		now = vclock.Wall
+	}
+	s.now = now
 }
 
 func (s *Service) allow() bool {
@@ -123,7 +136,7 @@ func (s *Service) allow() bool {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	now := time.Now()
+	now := s.now()
 	if now.Sub(s.winStart) >= time.Second {
 		s.winStart = now
 		s.winCount = 0

@@ -75,6 +75,20 @@ func PostTakeover(t time.Time) bool {
 	return !t.Before(Takeover)
 }
 
+// NowFunc is a clock-reading function. Simulated services accept a
+// NowFunc instead of calling time.Now directly (the walltime analyzer in
+// internal/lint enforces this), so the same service runs on wall time
+// (Wall) or on a virtual Clock (Clock.Now) without code changes.
+type NowFunc func() time.Time
+
+// Wall is the wall-clock NowFunc. It is the one sanctioned gateway to
+// time.Now for simulated-service packages: services default to Wall so
+// existing behavior under real time is unchanged, and tests or replays
+// swap in a Clock.
+func Wall() time.Time {
+	return time.Now()
+}
+
 // Clock is a monotonically advancing virtual clock. Services read Now from
 // it; generators advance it. The zero value starts at StudyStart.
 type Clock struct {
