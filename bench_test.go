@@ -25,9 +25,13 @@ import (
 	"time"
 
 	"flock/internal/analysis"
+	"flock/internal/birdsite"
 	"flock/internal/core"
+	"flock/internal/crawler"
 	"flock/internal/httpkit"
+	"flock/internal/indexsvc"
 	"flock/internal/match"
+	"flock/internal/memnet"
 	"flock/internal/randx"
 	"flock/internal/report"
 	"flock/internal/stats"
@@ -306,7 +310,7 @@ func BenchmarkAblationMatcherStrategy(b *testing.B) {
 	}
 	var cases []caseT
 	for i := 0; i < 500; i++ {
-		username := textkit.Topic(i % textkit.NumTopics).String() + "user"
+		username := textkit.Topic(i%textkit.NumTopics).String() + "user"
 		migrated := i%3 == 0
 		var tweets []string
 		if migrated {
@@ -449,12 +453,12 @@ func BenchmarkAblationToxThreshold(b *testing.B) {
 func BenchmarkAblationRateLimit(b *testing.B) {
 	fd := &rateLimitedServer{limit: 50, window: 100 * time.Millisecond}
 	mk := func(l *httpkit.Limiter) *httpkit.Client {
-		return &httpkit.Client{
-			HTTP:    fd,
-			Limiter: l,
-			Retry:   httpkit.RetryPolicy{MaxAttempts: 5, BaseDelay: time.Microsecond, MaxDelay: time.Millisecond},
-			Sleep:   func(ctx context.Context, d time.Duration) error { return ctx.Err() },
-		}
+		return httpkit.New(
+			httpkit.WithDoer(fd),
+			httpkit.WithLimiter(l),
+			httpkit.WithRetry(httpkit.RetryPolicy{MaxAttempts: 5, BaseDelay: time.Microsecond, MaxDelay: time.Millisecond}),
+			httpkit.WithSleep(func(ctx context.Context, d time.Duration) error { return ctx.Err() }),
+		)
 	}
 	run := func(c *httpkit.Client, n int) httpkit.Stats {
 		ctx := context.Background()
@@ -474,4 +478,76 @@ func BenchmarkAblationRateLimit(b *testing.B) {
 	}
 	b.ReportMetric(float64(pacedStats.RateLimited), "paced_429s")
 	b.ReportMetric(float64(reactiveStats.RateLimited), "reactive_429s")
+}
+
+// BenchmarkAblationTailLatency quantifies the tail-at-scale design: a
+// soak where the flagship instance is byte-throttled and stalls 8% of
+// exchanges for 250ms. The global-bound baseline eats the tail on every
+// slow exchange; the hedged+adaptive client races a backup after the
+// host's p90 and widens per-host windows on success. Wall-clock per
+// crawl is the benchmark time; hedge counters and the widest adaptive
+// window ride along as metrics.
+func BenchmarkAblationTailLatency(b *testing.B) {
+	ctx := context.Background()
+	wcfg := core.DefaultConfig(120).World
+	wcfg.Seed = 99
+	env, err := core.NewEnv(ctx, wcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	rng := randx.New(2024)
+	for _, inst := range env.World.Instances {
+		spec := &memnet.ChaosSpec{Seed: rng.Uint64(), Jitter: time.Millisecond}
+		if inst.Domain == "mastodon.social" {
+			spec = &memnet.ChaosSpec{
+				Seed:         rng.Uint64(),
+				BytesPerSec:  512 << 10,
+				Jitter:       2 * time.Millisecond,
+				PSlowReq:     0.08,
+				SlowReqDelay: 250 * time.Millisecond,
+			}
+		}
+		env.Fabric.SetChaos(inst.Domain, spec)
+	}
+	mkCfg := func() crawler.Config {
+		return crawler.Config{
+			TwitterBase:     "https://" + birdsite.Host,
+			IndexBase:       "https://" + indexsvc.Host,
+			PerspectiveBase: "https://" + toxsvc.Host,
+			Transport:       crawler.Transport{HTTP: env.Client, Concurrency: 12},
+		}
+	}
+	crawl := func(b *testing.B, cfg crawler.Config) *crawler.Crawler {
+		c := crawler.New(cfg)
+		if _, err := c.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	b.Run("global_bound", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			crawl(b, mkCfg())
+		}
+	})
+	b.Run("hedged_adaptive", func(b *testing.B) {
+		var st httpkit.Stats
+		maxWin := 0
+		for i := 0; i < b.N; i++ {
+			cfg := mkCfg()
+			cfg.Hedge = httpkit.HedgePolicy{Percentile: 0.9, MinSamples: 8, BudgetFrac: 0.05, MinDelay: 5 * time.Millisecond}
+			cfg.Adaptive = crawler.AdaptivePolicy{Enabled: true}
+			c := crawl(b, cfg)
+			st = c.HTTPStats()
+			for _, l := range c.HostLimits() {
+				if l > maxWin {
+					maxWin = l
+				}
+			}
+		}
+		b.ReportMetric(float64(st.HedgesFired), "hedges_fired")
+		b.ReportMetric(float64(st.HedgeWins), "hedge_wins")
+		b.ReportMetric(float64(st.HedgesDenied), "hedges_denied")
+		b.ReportMetric(float64(maxWin), "max_host_window")
+	})
 }

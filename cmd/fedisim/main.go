@@ -38,7 +38,7 @@ import (
 // is the TCP-facing sibling of the memnet conn-level chaos engine, so
 // external crawlers can be soak-tested against the same §3.2 instance
 // failures the in-process tests use.
-func chaosMiddleware(seed uint64, pFail float64, maxDelay time.Duration, next http.Handler) http.Handler {
+func chaosMiddleware(seed uint64, pFail float64, maxDelay time.Duration, pTail float64, tailDelay time.Duration, next http.Handler) http.Handler {
 	var mu sync.Mutex
 	reqs := map[string]int{}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -58,6 +58,12 @@ func chaosMiddleware(seed uint64, pFail float64, maxDelay time.Duration, next ht
 		if maxDelay > 0 {
 			time.Sleep(time.Duration(rng.Float64() * float64(maxDelay)))
 		}
+		// The tail draw is separate from the uniform jitter: a small
+		// fraction of requests stall hard, the bimodal shape hedged
+		// requests (httpkit.WithHedge) are built to cut.
+		if pTail > 0 && tailDelay > 0 && rng.Bool(pTail) {
+			time.Sleep(tailDelay)
+		}
 		next.ServeHTTP(w, r)
 	})
 }
@@ -69,6 +75,8 @@ func main() {
 	chaosSeed := flag.Uint64("chaos", 0, "fault-injection seed for the fediverse port (0 = no chaos)")
 	chaosFail := flag.Float64("chaos-fail", 0.10, "per-request probability of an injected 503 when -chaos is set")
 	chaosDelay := flag.Duration("chaos-delay", 50*time.Millisecond, "max injected per-request latency when -chaos is set")
+	chaosTail := flag.Float64("chaos-tail", 0, "per-request probability of a hard tail-latency stall when -chaos is set (0 = off)")
+	chaosTailDelay := flag.Duration("chaos-tail-delay", 250*time.Millisecond, "stall duration for -chaos-tail requests")
 	flag.Parse()
 
 	cfg := world.DefaultConfig(*migrants)
@@ -99,8 +107,9 @@ func main() {
 	// All fediverse instances behind one port; dispatch is by Host.
 	fediHandler := http.Handler(fediverse.New(w).Handler())
 	if *chaosSeed != 0 {
-		fediHandler = chaosMiddleware(*chaosSeed, *chaosFail, *chaosDelay, fediHandler)
-		log.Printf("chaos on: seed=%d fail=%.2f max-delay=%v (fediverse port only)", *chaosSeed, *chaosFail, *chaosDelay)
+		fediHandler = chaosMiddleware(*chaosSeed, *chaosFail, *chaosDelay, *chaosTail, *chaosTailDelay, fediHandler)
+		log.Printf("chaos on: seed=%d fail=%.2f max-delay=%v tail=%.2f tail-delay=%v (fediverse port only)",
+			*chaosSeed, *chaosFail, *chaosDelay, *chaosTail, *chaosTailDelay)
 	}
 	serve(*base+4, "fediverse", fediHandler)
 	log.Printf("fediverse hosts: e.g. curl -H 'Host: mastodon.social' http://127.0.0.1:%d/api/v1/instance", *base+4)

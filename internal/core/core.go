@@ -22,6 +22,7 @@ import (
 	"flock/internal/birdsite"
 	"flock/internal/crawler"
 	"flock/internal/fediverse"
+	"flock/internal/httpkit"
 	"flock/internal/indexsvc"
 	"flock/internal/memnet"
 	"flock/internal/toxsvc"
@@ -47,6 +48,12 @@ type Config struct {
 	OverlapMaxUsers int
 	// Logf receives progress lines (nil = silent).
 	Logf func(format string, args ...any)
+	// Hedge enables tail-latency hedging on the crawl's shared HTTP
+	// client (zero value: off).
+	Hedge httpkit.HedgePolicy
+	// Adaptive sizes per-host concurrency windows from the crawl's
+	// health taxonomy (zero value: global bound only).
+	Adaptive crawler.AdaptivePolicy
 }
 
 // DefaultConfig returns a pipeline config for a world of nMigrants.
@@ -117,11 +124,15 @@ func (e *Env) Crawl(ctx context.Context, cfg Config) (*crawler.Dataset, error) {
 		TwitterBase:     "https://" + birdsite.Host,
 		IndexBase:       "https://" + indexsvc.Host,
 		PerspectiveBase: "https://" + toxsvc.Host,
-		HTTP:            e.Client,
-		Concurrency:     cfg.Concurrency,
-		MaxSearchPages:  cfg.MaxSearchPages,
-		ScoreToxicity:   cfg.ScoreToxicity,
-		Logf:            cfg.Logf,
+		Transport: crawler.Transport{
+			HTTP:        e.Client,
+			Concurrency: cfg.Concurrency,
+			Hedge:       cfg.Hedge,
+			Adaptive:    cfg.Adaptive,
+		},
+		MaxSearchPages: cfg.MaxSearchPages,
+		ScoreToxicity:  cfg.ScoreToxicity,
+		Logf:           cfg.Logf,
 		BeforeTimelines: func() {
 			if !cfg.ApplyOutages {
 				return

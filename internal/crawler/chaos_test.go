@@ -66,8 +66,7 @@ func (e *soakEnv) config() crawler.Config {
 		TwitterBase:     "https://" + birdsite.Host,
 		IndexBase:       "https://" + indexsvc.Host,
 		PerspectiveBase: "https://" + toxsvc.Host,
-		HTTP:            e.http,
-		Concurrency:     12,
+		Transport:       crawler.Transport{HTTP: e.http, Concurrency: 12},
 	}
 }
 
@@ -326,4 +325,133 @@ func TestCheckpointSkipsCompletedRun(t *testing.T) {
 	if string(b1) != string(b2) {
 		t.Fatal("completed checkpoint re-run changed the dataset")
 	}
+}
+
+// tailStorm injects per-request tail latency on the flagship instance —
+// throttled, jittered, and with a 35% chance any exchange stalls 60ms —
+// plus light jitter everywhere else. Nothing dies: the storm models an
+// overloaded-but-healthy host, the regime hedging is built for.
+func tailStorm(w *world.World, seed uint64) *memnet.Storm {
+	rng := randx.New(seed)
+	storm := &memnet.Storm{Specs: map[string]*memnet.ChaosSpec{}}
+	for _, inst := range w.Instances {
+		if inst.Domain == "mastodon.social" {
+			storm.Specs[inst.Domain] = &memnet.ChaosSpec{
+				Seed:         rng.Uint64(),
+				BytesPerSec:  512 << 10,
+				Jitter:       2 * time.Millisecond,
+				PSlowReq:     0.35,
+				SlowReqDelay: 60 * time.Millisecond,
+			}
+			continue
+		}
+		storm.Specs[inst.Domain] = &memnet.ChaosSpec{Seed: rng.Uint64(), Jitter: time.Millisecond}
+	}
+	return storm
+}
+
+// TestChaosHedgedTailLatency drives the pipeline against a tail-heavy
+// flagship with hedging and adaptive concurrency on, killing the run
+// once mid-pipeline to prove checkpoints taken amid hedged traffic
+// resume cleanly. Invariants: hedges fire but stay within budget, the
+// slow-but-alive host never trips its breaker (no more opens than the
+// unhedged baseline), and the dataset is byte-identical to an unhedged
+// run — hedging is semantically transparent.
+func TestChaosHedgedTailLatency(t *testing.T) {
+	const nMigrants, worldSeed, stormSeed = 150, 77, 1717
+
+	// Baseline: same world, same storm, no hedging, global concurrency only.
+	base := newSoakEnv(t, nMigrants, worldSeed)
+	tailStorm(base.w, stormSeed).Apply(base.fab)
+	cBase := crawler.New(base.config())
+	dsBase, err := cBase.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseOpens := 0
+	for _, h := range cBase.Health().Snapshot() {
+		baseOpens += h.Opens
+	}
+
+	// Hedged + adaptive run on a fresh but identically seeded world.
+	e := newSoakEnv(t, nMigrants, worldSeed)
+	tailStorm(e.w, stormSeed).Apply(e.fab)
+	ckpt := store.NewFileCheckpoint(filepath.Join(t.TempDir(), "hedged.ckpt.gz"))
+	hedge := httpkit.HedgePolicy{Percentile: 0.75, MinSamples: 8, BudgetFrac: 0.05, MinDelay: 5 * time.Millisecond}
+	mkCfg := func() crawler.Config {
+		cfg := e.config()
+		cfg.Checkpoint = ckpt
+		cfg.CheckpointEvery = 8
+		cfg.Hedge = hedge
+		cfg.Adaptive = crawler.AdaptivePolicy{Enabled: true}
+		return cfg
+	}
+
+	// Kill mid-pipeline: checkpoints have been taken while hedges were in
+	// flight against the flagship.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	killCfg := mkCfg()
+	killCfg.Logf = func(format string, _ ...any) {
+		if strings.HasPrefix(format, "twitter timelines") {
+			cancel()
+		}
+	}
+	if _, err := crawler.New(killCfg).Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("kill: err = %v, want context.Canceled", err)
+	}
+
+	// Resume to completion under a hang guard.
+	rctx, rcancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer rcancel()
+	c := crawler.New(mkCfg())
+	ds, err := c.Run(rctx)
+	if err != nil {
+		t.Fatalf("hedged resume failed (ctx err %v): %v", rctx.Err(), err)
+	}
+	if !c.Report().Resumed {
+		t.Fatal("final run did not resume from the checkpoint")
+	}
+
+	stats := c.HTTPStats()
+	if stats.HedgesFired == 0 {
+		t.Fatalf("tail-heavy flagship never triggered a hedge: %+v", stats)
+	}
+	if float64(stats.HedgesFired) > hedge.BudgetFrac*float64(stats.Requests) {
+		t.Fatalf("hedges %d exceed %.0f%% budget of %d requests",
+			stats.HedgesFired, hedge.BudgetFrac*100, stats.Requests)
+	}
+
+	// Slow is not dead: the tail host must not trip its breaker, and
+	// hedging must not inflate breaker opens over the baseline.
+	health := c.Health()
+	if h := health.Health("mastodon.social"); h.Opens != 0 {
+		t.Errorf("tail-latency host tripped its breaker %d times: %+v", h.Opens, h)
+	}
+	hedgedOpens := 0
+	for _, h := range health.Snapshot() {
+		hedgedOpens += h.Opens
+	}
+	if hedgedOpens > baseOpens {
+		t.Errorf("hedged run opened %d breakers, baseline %d", hedgedOpens, baseOpens)
+	}
+
+	// The adaptive limiter tracked per-host windows and the report
+	// carries both it and the hedge counters.
+	rep := c.Report()
+	if len(rep.HostLimits) == 0 {
+		t.Error("adaptive limiter reported no per-host limits")
+	}
+	if rep.HTTPStats.HedgesFired != stats.HedgesFired {
+		t.Errorf("report hedge counter %d != client %d", rep.HTTPStats.HedgesFired, stats.HedgesFired)
+	}
+
+	// Hedging is semantically transparent: identical dataset bytes.
+	got, _ := json.Marshal(ds)
+	want, _ := json.Marshal(dsBase)
+	if string(got) != string(want) {
+		t.Fatalf("hedged dataset diverged from baseline: %d vs %d bytes", len(got), len(want))
+	}
+	t.Logf("hedges fired %d / won %d / denied %d over %d requests; host limits %v",
+		stats.HedgesFired, stats.HedgeWins, stats.HedgesDenied, stats.Requests, rep.HostLimits)
 }

@@ -206,6 +206,12 @@ type CrawlReport struct {
 	// ActivityGaps lists instance domains dropped from the activity
 	// crawl.
 	ActivityGaps map[string]string
+	// HTTPStats is the shared client's counter snapshot: requests,
+	// retries, hedges fired/won/denied, breaker short-circuits.
+	HTTPStats httpkit.Stats
+	// HostLimits is the adaptive limiter's final per-host concurrency
+	// window (nil when adaptation is off).
+	HostLimits map[string]int
 }
 
 // Quarantined returns the hosts the registry quarantined during the run.
@@ -297,6 +303,8 @@ func (c *Crawler) Report() *CrawlReport {
 		MastodonTimelineFailures: cp(c.rep.mastoTLFailures),
 		FolloweeGaps:             cp(c.rep.followeeGaps),
 		ActivityGaps:             cp(c.rep.activityGaps),
+		HTTPStats:                c.client.Stats(),
+		HostLimits:               c.lim.Limits(),
 	}
 	sort.Slice(rep.Hosts, func(i, j int) bool { return rep.Hosts[i].Host < rep.Hosts[j].Host })
 	return rep

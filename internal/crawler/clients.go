@@ -30,7 +30,7 @@ import (
 // breaking and health-taxonomy accounting (the rawhttp analyzer in
 // internal/lint forbids the raw fallback).
 var fallbackDoer = sync.OnceValue(func() httpkit.Doer {
-	return &httpkit.Client{Health: httpkit.NewHealthRegistry(httpkit.BreakerPolicy{})}
+	return httpkit.New(httpkit.WithBreaker(httpkit.NewHealthRegistry(httpkit.BreakerPolicy{})))
 })
 
 // TwitterClient wraps the Twitter v2 endpoints the crawl uses.

@@ -3,6 +3,7 @@ package crawler
 import (
 	"context"
 	"fmt"
+	"net/url"
 	"sort"
 	"strings"
 	"time"
@@ -26,17 +27,43 @@ var DefaultKeywords = []string{
 	"#RIPTwitter",
 }
 
+// Transport groups the wire-level knobs of a crawl — how requests are
+// performed, bounded, hedged and circuit-broken — so they stop
+// interleaving with pipeline knobs (sampling, keywords, checkpoints).
+// It is embedded in Config; field access is promoted, so existing
+// cfg.Concurrency readers keep working.
+type Transport struct {
+	// HTTP performs all requests (point it at the memnet fabric or a real
+	// network).
+	HTTP httpkit.Doer
+	// Concurrency bounds parallel fetches globally (default 8).
+	Concurrency int
+	// Hedge enables tail-latency hedging on the crawl's shared client
+	// (zero value: off).
+	Hedge httpkit.HedgePolicy
+	// Adaptive sizes a per-host AIMD concurrency window under the global
+	// bound (zero value: global bound only).
+	Adaptive AdaptivePolicy
+	// Health is the per-host circuit-breaker registry shared by the
+	// crawl's HTTP clients. When nil, New creates one from Breaker.
+	Health *httpkit.HealthRegistry
+	// Breaker tunes the registry New creates when Health is nil; zero
+	// fields take httpkit.DefaultBreaker values.
+	Breaker httpkit.BreakerPolicy
+	// Clock is the time base for hedge digests and AIMD cooldowns; nil
+	// means vclock.Wall.
+	Clock vclock.NowFunc
+}
+
 // Config parameterizes a crawl.
 type Config struct {
 	// Service endpoints.
 	TwitterBase     string
 	IndexBase       string
 	PerspectiveBase string
-	// HTTP performs all requests (point it at the memnet fabric or a real
-	// network).
-	HTTP httpkit.Doer
-	// Concurrency bounds parallel fetches (default 8).
-	Concurrency int
+	// Transport holds the wire-level knobs (HTTP doer, concurrency,
+	// hedging, adaptive windows, breakers).
+	Transport
 	// MaxSearchPages caps pagination per search query (0 = unlimited).
 	MaxSearchPages int
 	// FolloweeSampleFrac is the §3.3 sample size (default 0.10).
@@ -61,27 +88,27 @@ type Config struct {
 	// periodic mid-phase saves (default 32). Phase boundaries always
 	// save.
 	CheckpointEvery int
-	// Health is the per-host circuit-breaker registry shared by the
-	// crawl's HTTP clients. When nil, New creates one from Breaker.
-	Health *httpkit.HealthRegistry
-	// Breaker tunes the registry New creates when Health is nil; zero
-	// fields take httpkit.DefaultBreaker values.
-	Breaker httpkit.BreakerPolicy
 }
 
 // Crawler runs the pipeline.
 type Crawler struct {
-	cfg    Config
-	tw     *TwitterClient
-	masto  *MastodonClient
-	index  *IndexClient
-	tox    *PerspectiveClient
-	health *httpkit.HealthRegistry
-	rep    *reportState
+	cfg     Config
+	client  *httpkit.Client
+	tw      *TwitterClient
+	masto   *MastodonClient
+	index   *IndexClient
+	tox     *PerspectiveClient
+	health  *httpkit.HealthRegistry
+	lim     Limiter
+	twHost  string
+	toxHost string
+	rep     *reportState
 }
 
-// New builds a Crawler. The underlying httpkit clients share cfg.HTTP and
-// one per-host health registry.
+// New builds a Crawler. All service clients share ONE httpkit client —
+// so the hedge budget, latency digests and per-host health registry are
+// global across the crawl — plus an adaptive per-host limiter when
+// cfg.Adaptive is enabled.
 func New(cfg Config) *Crawler {
 	if cfg.Concurrency <= 0 {
 		cfg.Concurrency = 8
@@ -96,23 +123,49 @@ func New(cfg Config) *Crawler {
 	if health == nil {
 		health = httpkit.NewHealthRegistry(cfg.Breaker)
 	}
-	mk := func() *httpkit.Client {
-		return &httpkit.Client{
-			HTTP:      cfg.HTTP,
-			UserAgent: "flock-crawler/1.0",
-			Retry:     httpkit.RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second},
-			Health:    health,
-		}
-	}
+	client := httpkit.New(
+		httpkit.WithDoer(cfg.HTTP),
+		httpkit.WithUserAgent("flock-crawler/1.0"),
+		httpkit.WithRetry(httpkit.RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}),
+		httpkit.WithBreaker(health),
+		httpkit.WithHedge(cfg.Hedge),
+		httpkit.WithClock(cfg.Clock),
+	)
 	return &Crawler{
-		cfg:    cfg,
-		tw:     &TwitterClient{Base: cfg.TwitterBase, C: mk()},
-		masto:  &MastodonClient{C: mk()},
-		index:  &IndexClient{Base: cfg.IndexBase, C: mk()},
-		tox:    &PerspectiveClient{Base: cfg.PerspectiveBase, HTTP: cfg.HTTP},
-		health: health,
-		rep:    newReportState(),
+		cfg:     cfg,
+		client:  client,
+		tw:      &TwitterClient{Base: cfg.TwitterBase, C: client},
+		masto:   &MastodonClient{C: client},
+		index:   &IndexClient{Base: cfg.IndexBase, C: client},
+		tox:     &PerspectiveClient{Base: cfg.PerspectiveBase, HTTP: client},
+		health:  health,
+		lim:     NewAdaptiveLimiter(cfg.Adaptive, health, cfg.Concurrency, cfg.Clock),
+		twHost:  hostOf(cfg.TwitterBase),
+		toxHost: hostOf(cfg.PerspectiveBase),
+		rep:     newReportState(),
 	}
+}
+
+// hostOf extracts the lowercased hostname of a base URL, matching the
+// key httpkit's breaker registry uses for the same requests.
+func hostOf(base string) string {
+	if u, err := url.Parse(base); err == nil && u.Hostname() != "" {
+		return strings.ToLower(u.Hostname())
+	}
+	return strings.ToLower(base)
+}
+
+// underLimit runs fetch inside the adaptive limiter's window for host.
+// Every fan-out phase routes its per-target exchanges through here so a
+// backed-off host slows only its own work units.
+func underLimit[T any](ctx context.Context, c *Crawler, host string, fetch func() (T, error)) (T, error) {
+	release, err := c.lim.Acquire(ctx, host)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	defer release()
+	return fetch()
 }
 
 func (c *Crawler) logf(format string, args ...any) {
@@ -138,6 +191,14 @@ func waitPhase(ctx context.Context, g *httpkit.Group, phase string) error {
 
 // Health exposes the crawl's per-host breaker registry.
 func (c *Crawler) Health() *httpkit.HealthRegistry { return c.health }
+
+// HTTPStats snapshots the shared client's counters (requests, retries,
+// hedges fired/won, breaker short-circuits).
+func (c *Crawler) HTTPStats() httpkit.Stats { return c.client.Stats() }
+
+// HostLimits reports the adaptive limiter's current per-host windows
+// (nil when adaptation is off).
+func (c *Crawler) HostLimits() map[string]int { return c.lim.Limits() }
 
 // Run executes the full §3 pipeline and returns the dataset. With a
 // Checkpoint configured, progress persists across cancellation: calling
@@ -262,7 +323,9 @@ func (c *Crawler) collectTweets(ctx context.Context, t *tracker) error {
 			continue
 		}
 		g.Go(func() error {
-			tweets, err := c.tw.SearchAll(ctx, q.q, start, end, c.cfg.MaxSearchPages)
+			tweets, err := underLimit(ctx, c, c.twHost, func() ([]TweetJSON, error) {
+				return c.tw.SearchAll(ctx, q.q, start, end, c.cfg.MaxSearchPages)
+			})
 			if err != nil {
 				if ctx.Err() != nil {
 					return ctx.Err()
@@ -353,7 +416,9 @@ func (c *Crawler) mapAccounts(ctx context.Context, t *tracker) error {
 			markDone := func() {
 				t.update(func(p *Progress) { p.DoneAuthors[authorID] = true })
 			}
-			user, err := c.tw.UserByID(ctx, authorID)
+			user, err := underLimit(ctx, c, c.twHost, func() (*UserJSON, error) {
+				return c.tw.UserByID(ctx, authorID)
+			})
 			if err != nil {
 				if ctx.Err() != nil {
 					return ctx.Err()
@@ -395,7 +460,9 @@ func (c *Crawler) mapAccounts(ctx context.Context, t *tracker) error {
 			//    pointing forward);
 			//  - we found the DESTINATION account (its also_known_as
 			//    alias points backwards at the first instance).
-			if acc, lerr := c.masto.Lookup(ctx, res.Handle.Domain, res.Handle.Username); lerr == nil {
+			if acc, lerr := underLimit(ctx, c, strings.ToLower(res.Handle.Domain), func() (*MastoAccountJSON, error) {
+				return c.masto.Lookup(ctx, res.Handle.Domain, res.Handle.Username)
+			}); lerr == nil {
 				pair.MastodonVerified = true
 				pair.MastodonAccountID = acc.ID
 				pair.MastodonFollowers = acc.FollowersCount
@@ -420,7 +487,9 @@ func (c *Crawler) mapAccounts(ctx context.Context, t *tracker) error {
 					// We discovered the destination; normalize the pair
 					// so Handle is always the FIRST account.
 					oldHandle := handleFromURL(acc.AlsoKnownAs[0], usernameFromURL(acc.AlsoKnownAs[0]))
-					old, lerr := c.masto.Lookup(ctx, oldHandle.Domain, oldHandle.Username)
+					old, lerr := underLimit(ctx, c, strings.ToLower(oldHandle.Domain), func() (*MastoAccountJSON, error) {
+						return c.masto.Lookup(ctx, oldHandle.Domain, oldHandle.Username)
+					})
 					if lerr != nil && ctx.Err() != nil {
 						return ctx.Err()
 					}
@@ -505,7 +574,9 @@ func (c *Crawler) crawlTwitterTimelines(ctx context.Context, t *tracker) error {
 		}
 		g.Go(func() error {
 			tl := &TwitterTimeline{State: StateOK}
-			tweets, err := c.tw.Timeline(ctx, pair.TwitterID, start, end)
+			tweets, err := underLimit(ctx, c, c.twHost, func() ([]TweetJSON, error) {
+				return c.tw.Timeline(ctx, pair.TwitterID, start, end)
+			})
 			if err != nil {
 				if ctx.Err() != nil {
 					return ctx.Err()
@@ -562,7 +633,9 @@ func (c *Crawler) crawlMastodonTimelines(ctx context.Context, t *tracker) error 
 		g.Go(func() error {
 			tl := &MastodonTimeline{State: StateOK}
 			fetch := func(domain, accountID string) error {
-				sts, err := c.masto.Statuses(ctx, domain, accountID)
+				sts, err := underLimit(ctx, c, strings.ToLower(domain), func() ([]MastoStatusJSON, error) {
+					return c.masto.Statuses(ctx, domain, accountID)
+				})
 				if err != nil {
 					return err
 				}
@@ -584,7 +657,9 @@ func (c *Crawler) crawlMastodonTimelines(ctx context.Context, t *tracker) error 
 			} else {
 				// Unverified pair: try a fresh lookup (it may have failed
 				// transiently during mapping).
-				acc, lerr := c.masto.Lookup(ctx, pair.Handle.Domain, pair.Handle.Username)
+				acc, lerr := underLimit(ctx, c, strings.ToLower(pair.Handle.Domain), func() (*MastoAccountJSON, error) {
+					return c.masto.Lookup(ctx, pair.Handle.Domain, pair.Handle.Username)
+				})
 				if lerr != nil {
 					err = lerr
 				} else {
@@ -715,7 +790,9 @@ func (c *Crawler) crawlFollowees(ctx context.Context, t *tracker) error {
 			markDone := func() {
 				t.update(func(pr *Progress) { pr.DoneFollowees[p.TwitterID] = true })
 			}
-			users, err := c.tw.Following(ctx, p.TwitterID)
+			users, err := underLimit(ctx, c, c.twHost, func() ([]UserJSON, error) {
+				return c.tw.Following(ctx, p.TwitterID)
+			})
 			if err != nil {
 				if ctx.Err() != nil {
 					return ctx.Err()
@@ -738,7 +815,9 @@ func (c *Crawler) crawlFollowees(ctx context.Context, t *tracker) error {
 				markDone()
 				return nil
 			}
-			accounts, err := c.masto.Following(ctx, domain, accID)
+			accounts, err := underLimit(ctx, c, strings.ToLower(domain), func() ([]MastoAccountJSON, error) {
+				return c.masto.Following(ctx, domain, accID)
+			})
 			if err != nil {
 				if ctx.Err() != nil {
 					return ctx.Err()
@@ -802,7 +881,9 @@ func (c *Crawler) crawlActivity(ctx context.Context, t *tracker) error {
 			continue
 		}
 		g.Go(func() error {
-			acts, err := c.masto.Activity(ctx, domain)
+			acts, err := underLimit(ctx, c, strings.ToLower(domain), func() ([]ActivityJSON, error) {
+				return c.masto.Activity(ctx, domain)
+			})
 			if err != nil {
 				if ctx.Err() != nil {
 					return ctx.Err()
@@ -863,7 +944,9 @@ func (c *Crawler) scoreToxicity(ctx context.Context, t *tracker) error {
 				continue
 			}
 			g.Go(func() error {
-				v, err := c.tox.Score(ctx, posts[i].Text)
+				v, err := underLimit(ctx, c, c.toxHost, func() (float64, error) {
+					return c.tox.Score(ctx, posts[i].Text)
+				})
 				if err != nil {
 					if ctx.Err() != nil {
 						return ctx.Err()

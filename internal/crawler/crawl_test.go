@@ -56,8 +56,7 @@ func (e *env) crawler() *Crawler {
 		TwitterBase:     "https://" + birdsite.Host,
 		IndexBase:       "https://" + indexsvc.Host,
 		PerspectiveBase: "https://" + toxsvc.Host,
-		HTTP:            e.http,
-		Concurrency:     8,
+		Transport:       Transport{HTTP: e.http, Concurrency: 8},
 		ScoreToxicity:   false,
 	})
 }
@@ -345,8 +344,7 @@ func TestToxicityScoring(t *testing.T) {
 		TwitterBase:     "https://" + birdsite.Host,
 		IndexBase:       "https://" + indexsvc.Host,
 		PerspectiveBase: "https://" + toxsvc.Host,
-		HTTP:            e.http,
-		Concurrency:     8,
+		Transport:       Transport{HTTP: e.http, Concurrency: 8},
 		ScoreToxicity:   true,
 	})
 	ds, err := c.Run(context.Background())

@@ -1,0 +1,151 @@
+package crawler
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"flock/internal/httpkit"
+)
+
+// fakeClock is a hand-advanced vclock.NowFunc for cooldown tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestLimiter(t *testing.T, pol AdaptivePolicy, clk *fakeClock) (*aimdLimiter, *httpkit.HealthRegistry) {
+	t.Helper()
+	health := httpkit.NewHealthRegistry(httpkit.BreakerPolicy{})
+	lim := NewAdaptiveLimiter(pol, health, 8, clk.now)
+	al, ok := lim.(*aimdLimiter)
+	if !ok {
+		t.Fatalf("enabled policy returned %T, want *aimdLimiter", lim)
+	}
+	return al, health
+}
+
+func TestAdaptiveDisabledIsNop(t *testing.T) {
+	lim := NewAdaptiveLimiter(AdaptivePolicy{}, nil, 8, nil)
+	if _, ok := lim.(nopLimiter); !ok {
+		t.Fatalf("disabled policy returned %T, want nopLimiter", lim)
+	}
+	release, err := lim.Acquire(context.Background(), "any.host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if lim.Limits() != nil {
+		t.Fatal("nop limiter reported limits")
+	}
+}
+
+func TestAdaptiveBackpressureAndRecovery(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	lim, health := newTestLimiter(t, AdaptivePolicy{Enabled: true, Cooldown: 50 * time.Millisecond}, clk)
+
+	const host = "busy.example"
+	if got := lim.Limits()[host]; got != 0 {
+		t.Fatalf("untouched host already has a window: %d", got)
+	}
+
+	// A burst of 429s within one cooldown halves the window once, not
+	// once per response.
+	health.ReportFailure(host, httpkit.Kind429)
+	health.ReportFailure(host, httpkit.Kind429)
+	health.ReportFailure(host, httpkit.Kind429)
+	if got := lim.Limits()[host]; got != 4 {
+		t.Fatalf("window after one burst = %d, want 8/2 = 4", got)
+	}
+	// Past the cooldown the next load signal halves again; breaker-open
+	// refusals count as backpressure too.
+	clk.advance(60 * time.Millisecond)
+	health.ReportFailure(host, httpkit.Kind5xx)
+	if got := lim.Limits()[host]; got != 2 {
+		t.Fatalf("window after second backoff = %d, want 2", got)
+	}
+	clk.advance(60 * time.Millisecond)
+	health.ReportFailure(host, httpkit.Kind429)
+	clk.advance(60 * time.Millisecond)
+	health.ReportFailure(host, httpkit.Kind429)
+	if got := lim.Limits()[host]; got != 1 {
+		t.Fatalf("window must floor at MinPerHost: %d", got)
+	}
+
+	// Dial failures are the breaker's business, not load: no shrink —
+	// and no growth either.
+	clk.advance(60 * time.Millisecond)
+	health.ReportFailure(host, httpkit.KindDial)
+	if got := lim.Limits()[host]; got != 1 {
+		t.Fatalf("dial failure moved the window to %d", got)
+	}
+
+	// Additive recovery: at limit 1 each success credits a full slot.
+	health.ReportSuccess(host)
+	if got := lim.Limits()[host]; got != 2 {
+		t.Fatalf("window after recovery success = %d, want 2", got)
+	}
+	for i := 0; i < 100; i++ {
+		health.ReportSuccess(host)
+	}
+	if got := lim.Limits()[host]; got != 8 {
+		t.Fatalf("window must cap at MaxPerHost: %d", got)
+	}
+}
+
+func TestAdaptiveAcquireBlocksAtWindow(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	lim, health := newTestLimiter(t, AdaptivePolicy{Enabled: true, Initial: 2, MaxPerHost: 2}, clk)
+
+	const host = "narrow.example"
+	r1, err := lim.Acquire(context.Background(), host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := lim.Acquire(context.Background(), host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Third slot: blocked until a release.
+	acquired := make(chan func(), 1)
+	go func() {
+		r, err := lim.Acquire(context.Background(), host)
+		if err != nil {
+			t.Error(err)
+		}
+		acquired <- r
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("third acquire did not block at window 2")
+	case <-time.After(20 * time.Millisecond):
+	}
+	r1()
+	r1() // double release is safe and must not free a second slot
+	select {
+	case r := <-acquired:
+		r()
+	case <-time.After(time.Second):
+		t.Fatal("release did not wake the blocked acquire")
+	}
+	r2()
+
+	// Other hosts are unaffected by this host's window.
+	r3, err := lim.Acquire(context.Background(), "other.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3()
+
+	// A cancelled context aborts a blocked acquire.
+	a, _ := lim.Acquire(context.Background(), host)
+	b, _ := lim.Acquire(context.Background(), host)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := lim.Acquire(ctx, host); err == nil {
+		t.Fatal("acquire beyond the window with expiring ctx returned no error")
+	}
+	a()
+	b()
+	_ = health
+}

@@ -50,6 +50,11 @@ const (
 	Kind429 ErrorKind = "429"
 	// KindOther: terminal client-side statuses (4xx) and the rest.
 	KindOther ErrorKind = "other"
+	// KindBreakerOpen is a synthetic kind delivered only to listeners
+	// when a request is refused by an open breaker. It is never added
+	// to a host's counts — the refusal is our doing, not the host's —
+	// but adaptive controllers treat it like backpressure.
+	KindBreakerOpen ErrorKind = "breaker-open"
 )
 
 // trips reports whether a failure kind counts toward opening the breaker.
@@ -129,13 +134,41 @@ type hostState struct {
 	lastFailure time.Time
 }
 
+// HealthListener observes per-host outcomes as the registry records
+// them: success=true for a successful exchange, otherwise the failure
+// kind (including the synthetic KindBreakerOpen for refusals). Called
+// outside the registry lock; implementations must be concurrency-safe.
+type HealthListener func(host string, kind ErrorKind, success bool)
+
 // HealthRegistry tracks per-host health and gates requests through
 // circuit breakers. It is safe for concurrent use.
 type HealthRegistry struct {
-	mu     sync.Mutex
-	policy BreakerPolicy
-	hosts  map[string]*hostState
-	now    func() time.Time
+	mu        sync.Mutex
+	policy    BreakerPolicy
+	hosts     map[string]*hostState
+	now       func() time.Time
+	listeners []HealthListener
+}
+
+// Subscribe registers a listener for every recorded outcome. Adaptive
+// concurrency controllers key their AIMD steps off this stream.
+func (r *HealthRegistry) Subscribe(fn HealthListener) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.listeners = append(r.listeners, fn)
+	r.mu.Unlock()
+}
+
+// notify fans an outcome out to listeners; never called under r.mu.
+func (r *HealthRegistry) notify(host string, kind ErrorKind, success bool) {
+	r.mu.Lock()
+	ls := r.listeners
+	r.mu.Unlock()
+	for _, fn := range ls {
+		fn(host, kind, success)
+	}
 }
 
 // NewHealthRegistry builds a registry with the given policy (zero fields
@@ -164,6 +197,14 @@ func (r *HealthRegistry) Allow(host string) error {
 	if r == nil {
 		return nil
 	}
+	err := r.allow(host)
+	if err != nil {
+		r.notify(host, KindBreakerOpen, false)
+	}
+	return err
+}
+
+func (r *HealthRegistry) allow(host string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h := r.host(host)
@@ -188,6 +229,22 @@ func (r *HealthRegistry) Allow(host string) error {
 	}
 }
 
+// State returns host's current breaker state without consuming a
+// half-open probe slot (unlike Allow). Hedging consults it before
+// spending budget on a host the breaker is already rationing.
+func (r *HealthRegistry) State(host string) BreakerState {
+	if r == nil {
+		return BreakerClosed
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hosts[host]
+	if !ok {
+		return BreakerClosed
+	}
+	return h.state
+}
+
 // ReportSuccess records a successful exchange with host, closing a
 // half-open breaker and resetting failure streaks.
 func (r *HealthRegistry) ReportSuccess(host string) {
@@ -195,12 +252,13 @@ func (r *HealthRegistry) ReportSuccess(host string) {
 		return
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	h := r.host(host)
 	h.successes++
 	h.consecFails = 0
 	h.probing = false
 	h.state = BreakerClosed
+	r.mu.Unlock()
+	r.notify(host, "", true)
 }
 
 // ReportFailure records a failed exchange of the given kind. Kinds that
@@ -211,7 +269,6 @@ func (r *HealthRegistry) ReportFailure(host string, kind ErrorKind) {
 		return
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	h := r.host(host)
 	h.counts[kind]++
 	h.lastFailure = r.now()
@@ -223,6 +280,8 @@ func (r *HealthRegistry) ReportFailure(host string, kind ErrorKind) {
 		if h.state == BreakerHalfOpen {
 			h.probing = false
 		}
+		r.mu.Unlock()
+		r.notify(host, kind, false)
 		return
 	}
 	h.consecFails++
@@ -239,6 +298,8 @@ func (r *HealthRegistry) ReportFailure(host string, kind ErrorKind) {
 			h.opens++
 		}
 	}
+	r.mu.Unlock()
+	r.notify(host, kind, false)
 }
 
 // snapshotLocked builds a HostHealth copy; caller holds r.mu.

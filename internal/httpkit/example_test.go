@@ -1,0 +1,43 @@
+package httpkit_test
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"flock/internal/httpkit"
+)
+
+// ExampleNew builds a crawl-ready client: retries with jittered backoff,
+// a shared rate limit, and per-host circuit breakers.
+func ExampleNew() {
+	health := httpkit.NewHealthRegistry(httpkit.DefaultBreaker)
+	client := httpkit.New(
+		httpkit.WithUserAgent("flock-crawler/1.0"),
+		httpkit.WithRetry(httpkit.RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}),
+		httpkit.WithLimiter(httpkit.NewLimiter(10, 5)), // 10 req/s, burst 5
+		httpkit.WithBreaker(health),
+	)
+	_ = client // client.Do / client.GetJSON as usual
+	fmt.Println(client.Retry.MaxAttempts)
+	// Output: 3
+}
+
+// ExampleWithHedge turns on tail-latency hedging: when an idempotent GET
+// outlives the host's p95, one backup request races it and the first 2xx
+// wins. The budget caps hedges at 5% of total requests.
+func ExampleWithHedge() {
+	client := httpkit.New(
+		httpkit.WithHedge(httpkit.HedgePolicy{
+			Percentile: 0.95,             // hedge when slower than the host's p95
+			MinSamples: 8,                // need a latency history first
+			BudgetFrac: 0.05,             // at most 5% of requests grow a backup
+			MinDelay:   time.Millisecond, // never hedge instantly
+		}),
+	)
+	req, _ := http.NewRequest("GET", "https://mastodon.example/api/v1/timelines/public", nil)
+	_ = req // resp, err := client.Do(req) — hedging is transparent to callers
+	stats := client.Stats()
+	fmt.Println(stats.HedgesFired, stats.HedgeWins)
+	// Output: 0 0
+}

@@ -1,0 +1,319 @@
+// Tail-latency hedging ("The Tail at Scale", Dean & Barroso, CACM 2013).
+//
+// The §3 crawl is dominated by tail latency: one throttled Mastodon
+// instance answering at its rate limit stalls a whole fan-out phase
+// while healthy hosts sit idle. Waiting out the full client timeout is
+// the worst response — the standard cure is a hedged request: once an
+// idempotent request has been in flight longer than a high percentile
+// of the host's recent latency, fire one backup attempt and take
+// whichever answer arrives first. The expected extra load is tiny (only
+// the slowest few percent of requests hedge, and a global budget caps
+// even that), but the tail collapses to roughly the percentile that
+// triggers the hedge.
+//
+// The per-host latency distribution is tracked in a sliding-window
+// digest fed by successful exchanges, read through the client's
+// vclock.NowFunc so replayed virtual-time runs observe virtual
+// latencies.
+package httpkit
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// HedgePolicy tunes tail-latency hedging. The zero value disables
+// hedging; enable it with a Percentile in (0, 1).
+type HedgePolicy struct {
+	// Percentile of the host's observed latency after which a backup
+	// attempt fires (e.g. 0.95: hedge once the request is slower than
+	// 95% of recent ones). <= 0 disables hedging entirely.
+	Percentile float64
+	// MinSamples is how many latency observations a host needs before
+	// hedging activates for it (default 8). Cold hosts never hedge.
+	MinSamples int
+	// BudgetFrac caps hedges at this fraction of all attempted requests
+	// (default 0.05). The budget is global across hosts: a pathological
+	// latency distribution cannot double the crawl's request volume.
+	BudgetFrac float64
+	// MinDelay floors the hedge trigger so a uniformly fast host cannot
+	// spend the budget on no-win micro-hedges (default 1ms).
+	MinDelay time.Duration
+	// Window is the per-host sliding-window size of the latency digest
+	// (default 128 samples).
+	Window int
+}
+
+// enabled reports whether the policy turns hedging on.
+func (p HedgePolicy) enabled() bool { return p.Percentile > 0 }
+
+// DefaultHedge is a crawl-appropriate hedging policy: back up requests
+// beyond the host's p95, spending at most 5% extra requests.
+var DefaultHedge = HedgePolicy{Percentile: 0.95, MinSamples: 8, BudgetFrac: 0.05, MinDelay: time.Millisecond, Window: 128}
+
+func (p HedgePolicy) withDefaults() HedgePolicy {
+	if p.MinSamples <= 0 {
+		p.MinSamples = DefaultHedge.MinSamples
+	}
+	if p.BudgetFrac <= 0 {
+		p.BudgetFrac = DefaultHedge.BudgetFrac
+	}
+	if p.MinDelay <= 0 {
+		p.MinDelay = DefaultHedge.MinDelay
+	}
+	if p.Window <= 0 {
+		p.Window = DefaultHedge.Window
+	}
+	return p
+}
+
+// latencyDigest is a fixed-size sliding window of latency samples for
+// one host. Quantiles are computed on demand by sorting a copy — the
+// window is small (default 128), so this is cheaper than maintaining a
+// proper streaming sketch and exactly reproducible.
+type latencyDigest struct {
+	window  []time.Duration
+	next    int // ring cursor
+	samples int // total observed (may exceed len(window))
+}
+
+func newLatencyDigest(size int) *latencyDigest {
+	return &latencyDigest{window: make([]time.Duration, 0, size)}
+}
+
+func (d *latencyDigest) observe(v time.Duration) {
+	if len(d.window) < cap(d.window) {
+		d.window = append(d.window, v)
+	} else {
+		d.window[d.next] = v
+		d.next = (d.next + 1) % len(d.window)
+	}
+	d.samples++
+}
+
+// quantile returns the q-quantile (nearest rank) of the window.
+// ok is false while the window is empty.
+func (d *latencyDigest) quantile(q float64) (time.Duration, bool) {
+	n := len(d.window)
+	if n == 0 {
+		return 0, false
+	}
+	cp := make([]time.Duration, n)
+	copy(cp, d.window)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	idx := int(q * float64(n-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return cp[idx], true
+}
+
+// observeLatency records a successful exchange's duration for host.
+func (c *Client) observeLatency(host string, v time.Duration) {
+	if !c.Hedge.enabled() {
+		return
+	}
+	pol := c.Hedge.withDefaults()
+	c.mu.Lock()
+	if c.digests == nil {
+		c.digests = make(map[string]*latencyDigest)
+	}
+	d := c.digests[host]
+	if d == nil {
+		d = newLatencyDigest(pol.Window)
+		c.digests[host] = d
+	}
+	d.observe(v)
+	c.mu.Unlock()
+}
+
+// LatencyQuantile exposes the hedging digest for observability and
+// tests: the q-quantile of host's recent successful-exchange latency.
+// ok is false when hedging is off or the host has no samples yet.
+func (c *Client) LatencyQuantile(host string, q float64) (time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.digests[host]
+	if d == nil {
+		return 0, false
+	}
+	return d.quantile(q)
+}
+
+// hedgeDelay computes the trigger delay for a request to host, or
+// ok=false when the host is still cold (fewer than MinSamples
+// observations).
+func (c *Client) hedgeDelay(host string) (time.Duration, bool) {
+	pol := c.Hedge.withDefaults()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.digests[host]
+	if d == nil || d.samples < pol.MinSamples {
+		return 0, false
+	}
+	delay, ok := d.quantile(pol.Percentile)
+	if !ok {
+		return 0, false
+	}
+	if delay < pol.MinDelay {
+		delay = pol.MinDelay
+	}
+	return delay, true
+}
+
+// hedgeable reports whether a request may be hedged at all: hedging
+// must be on, and the request must be an idempotent, bodyless read.
+// POSTs are never hedged — a duplicate write is not a latency
+// optimization, it is a correctness bug.
+func (c *Client) hedgeable(r *http.Request) bool {
+	if !c.Hedge.enabled() {
+		return false
+	}
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		return false
+	}
+	return r.Body == nil || r.Body == http.NoBody
+}
+
+// allowHedge consumes one unit of the global hedge budget, refusing
+// when the budget is exhausted or the host's breaker is not closed (an
+// open or half-open breaker is already rationing requests; a hedge
+// would either be refused anyway or steal the half-open probe slot).
+func (c *Client) allowHedge(host string) bool {
+	if c.Health != nil && c.Health.State(host) != BreakerClosed {
+		c.mu.Lock()
+		c.hedgesDenied++
+		c.mu.Unlock()
+		return false
+	}
+	pol := c.Hedge.withDefaults()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if float64(c.hedges+1) > pol.BudgetFrac*float64(c.requests) {
+		c.hedgesDenied++
+		return false
+	}
+	c.hedges++
+	return true
+}
+
+// cancelBody releases a hedged sub-request's context when its winning
+// (or fallback) response body is closed, so neither context nor
+// connection outlives the read.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// raceResult is one sub-attempt's outcome inside a hedged exchange.
+type raceResult struct {
+	resp  *http.Response
+	err   error
+	hedge bool
+}
+
+// discard releases a non-winning result: closing the body cancels the
+// sub-request context via cancelBody.
+func (r raceResult) discard() {
+	if r.resp != nil {
+		_, _ = io.Copy(io.Discard, io.LimitReader(r.resp.Body, 4096))
+		r.resp.Body.Close()
+	}
+}
+
+// race performs one hedged exchange: the primary attempt starts
+// immediately; if it is still in flight after delay, one backup fires
+// (budget and breaker permitting) and the first 2xx wins. The loser is
+// cancelled. When neither attempt produces a 2xx, the primary's result
+// is returned so the caller's retry/backoff logic sees a deterministic
+// outcome.
+func (c *Client) race(req *http.Request, host string, delay time.Duration) (*http.Response, error) {
+	parent := req.Context()
+	results := make(chan raceResult, 2)
+	var cancels [2]context.CancelFunc
+	launch := func(idx int, hedge bool) {
+		ctx, cancel := context.WithCancel(parent)
+		cancels[idx] = cancel
+		r := req.Clone(ctx)
+		go func() {
+			resp, err := c.attempt(r, host)
+			if resp != nil {
+				// The context must survive until the body is consumed.
+				resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+			} else {
+				cancel()
+			}
+			results <- raceResult{resp: resp, err: err, hedge: hedge}
+		}()
+	}
+	launch(0, false)
+	inflight := 1
+
+	// The hedge trigger runs through c.wait so tests with an injected
+	// Sleep control it; cancelling timerCtx reaps the goroutine once a
+	// result settles the race.
+	timerCtx, timerCancel := context.WithCancel(parent)
+	defer timerCancel()
+	timer := make(chan struct{})
+	go func() {
+		if c.wait(timerCtx, delay) == nil {
+			close(timer)
+		}
+	}()
+
+	var primary, hedged *raceResult
+	for {
+		select {
+		case res := <-results:
+			inflight--
+			if res.err == nil && res.resp.StatusCode >= 200 && res.resp.StatusCode < 300 {
+				// First success wins; cancel and drain the loser.
+				if res.hedge {
+					c.mu.Lock()
+					c.hedgeWins++
+					c.mu.Unlock()
+					cancels[0]()
+				} else if cancels[1] != nil {
+					cancels[1]()
+				}
+				if primary != nil {
+					primary.discard()
+				}
+				if inflight > 0 {
+					go func() { (<-results).discard() }()
+				}
+				return res.resp, nil
+			}
+			if res.hedge {
+				hedged = &res
+			} else {
+				primary = &res
+			}
+			if inflight == 0 {
+				// No winner: surface the primary outcome, drop the rest.
+				if hedged != nil {
+					hedged.discard()
+				}
+				return primary.resp, primary.err
+			}
+		case <-timer:
+			timer = nil // fire at most once
+			if c.allowHedge(host) {
+				launch(1, true)
+				inflight++
+			}
+		}
+	}
+}

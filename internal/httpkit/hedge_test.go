@@ -1,0 +1,324 @@
+package httpkit
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLatencyDigestSlidingQuantile(t *testing.T) {
+	d := newLatencyDigest(4)
+	if _, ok := d.quantile(0.5); ok {
+		t.Fatal("empty digest returned a quantile")
+	}
+	for _, v := range []time.Duration{10, 20, 30, 40} {
+		d.observe(v * time.Millisecond)
+	}
+	if q, _ := d.quantile(1.0); q != 40*time.Millisecond {
+		t.Fatalf("p100 = %v, want 40ms", q)
+	}
+	if q, _ := d.quantile(0); q != 10*time.Millisecond {
+		t.Fatalf("p0 = %v, want 10ms", q)
+	}
+	// The window slides: four more samples evict the first four.
+	for _, v := range []time.Duration{1, 2, 3, 4} {
+		d.observe(v * time.Millisecond)
+	}
+	if q, _ := d.quantile(1.0); q != 4*time.Millisecond {
+		t.Fatalf("p100 after slide = %v, want 4ms", q)
+	}
+	if d.samples != 8 {
+		t.Fatalf("samples = %d, want 8", d.samples)
+	}
+}
+
+// TestHedgeDigestUsesInjectedClock drives the latency digest from a
+// virtual clock: observed latency is whatever the clock says, not wall
+// time.
+func TestHedgeDigestUsesInjectedClock(t *testing.T) {
+	var now atomic.Int64 // virtual nanos
+	c := New(
+		WithHedge(HedgePolicy{Percentile: 0.5, MinSamples: 1}),
+		WithClock(func() time.Time { return time.Unix(0, now.Load()) }),
+		WithSleep(noSleep),
+		WithDoer(&fakeDoer{fn: func(_ int, _ *http.Request) (*http.Response, error) {
+			now.Add(int64(250 * time.Millisecond)) // virtual service time
+			return respond(200, "ok", nil), nil
+		}}),
+	)
+	req, _ := http.NewRequest("GET", "https://slow.example/", nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	q, ok := c.LatencyQuantile("slow.example", 0.5)
+	if !ok || q != 250*time.Millisecond {
+		t.Fatalf("virtual latency quantile = %v ok=%v, want 250ms", q, ok)
+	}
+}
+
+// warmClient builds a hedging client over fn and issues `warm` fast GET
+// requests so the host's digest passes MinSamples.
+func warmClient(t *testing.T, pol HedgePolicy, fn func(call int, req *http.Request) (*http.Response, error)) *Client {
+	t.Helper()
+	warmed := atomic.Bool{}
+	c := New(
+		WithHedge(pol),
+		WithDoer(&fakeDoer{fn: func(call int, req *http.Request) (*http.Response, error) {
+			if !warmed.Load() {
+				return respond(200, "warm", nil), nil
+			}
+			return fn(call, req)
+		}}),
+	)
+	for i := 0; i < pol.MinSamples; i++ {
+		req, _ := http.NewRequest("GET", "https://h.example/warm", nil)
+		resp, err := c.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	warmed.Store(true)
+	return c
+}
+
+// TestHedgeWinsAgainstStuckPrimary: the primary attempt wedges until
+// cancelled; the backup fires after the hedge delay and wins.
+func TestHedgeWinsAgainstStuckPrimary(t *testing.T) {
+	var stuck atomic.Int32
+	pol := HedgePolicy{Percentile: 0.9, MinSamples: 4, BudgetFrac: 1.0, MinDelay: 5 * time.Millisecond}
+	c := warmClient(t, pol, func(_ int, req *http.Request) (*http.Response, error) {
+		// First arrival (the primary: the hedge is delayed 5ms) wedges
+		// until the race cancels it.
+		if stuck.CompareAndSwap(0, 1) {
+			<-req.Context().Done()
+			return nil, req.Context().Err()
+		}
+		return respond(200, "hedged", nil), nil
+	})
+	req, _ := http.NewRequest("GET", "https://h.example/slow", nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	s := c.Stats()
+	if s.HedgesFired != 1 || s.HedgeWins != 1 {
+		t.Fatalf("stats %+v, want 1 hedge fired and won", s)
+	}
+	if s.Retries != 0 {
+		t.Fatalf("hedge win must not count as a retry: %+v", s)
+	}
+}
+
+// TestHedgeBudgetExhausted: with a tiny budget the trigger fires but is
+// denied, and the slow primary is simply awaited.
+func TestHedgeBudgetExhausted(t *testing.T) {
+	pol := HedgePolicy{Percentile: 0.9, MinSamples: 4, BudgetFrac: 0.01, MinDelay: time.Millisecond}
+	c := warmClient(t, pol, func(_ int, _ *http.Request) (*http.Response, error) {
+		time.Sleep(15 * time.Millisecond)
+		return respond(200, "slow but fine", nil), nil
+	})
+	req, _ := http.NewRequest("GET", "https://h.example/slow", nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	s := c.Stats()
+	if s.HedgesFired != 0 {
+		t.Fatalf("budget 1%% after %d requests must deny the hedge: %+v", s.Requests, s)
+	}
+	if s.HedgesDenied == 0 {
+		t.Fatalf("denied hedge not counted: %+v", s)
+	}
+}
+
+// TestHedgeNeverExceedsBudget hammers a uniformly slow host and checks
+// the 5%-of-requests invariant afterwards.
+func TestHedgeNeverExceedsBudget(t *testing.T) {
+	pol := HedgePolicy{Percentile: 0.5, MinSamples: 4, BudgetFrac: 0.05, MinDelay: time.Microsecond}
+	c := warmClient(t, pol, func(_ int, _ *http.Request) (*http.Response, error) {
+		time.Sleep(2 * time.Millisecond)
+		return respond(200, "meh", nil), nil
+	})
+	for i := 0; i < 60; i++ {
+		req, _ := http.NewRequest("GET", "https://h.example/meh", nil)
+		resp, err := c.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	s := c.Stats()
+	if float64(s.HedgesFired) > pol.BudgetFrac*float64(s.Requests) {
+		t.Fatalf("hedges %d exceed budget %.0f%% of %d requests", s.HedgesFired, pol.BudgetFrac*100, s.Requests)
+	}
+}
+
+// TestHedgeOnlyIdempotent: POSTs are never hedged, no matter how slow.
+func TestHedgeOnlyIdempotent(t *testing.T) {
+	pol := HedgePolicy{Percentile: 0.5, MinSamples: 4, BudgetFrac: 1.0, MinDelay: time.Microsecond}
+	c := warmClient(t, pol, func(_ int, _ *http.Request) (*http.Response, error) {
+		time.Sleep(10 * time.Millisecond)
+		return respond(200, "posted", nil), nil
+	})
+	req, _ := http.NewRequest("POST", "https://h.example/write", nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	s := c.Stats()
+	if s.HedgesFired != 0 || s.HedgesDenied != 0 {
+		t.Fatalf("POST entered the hedge path: %+v", s)
+	}
+}
+
+// TestHedgeRaceFallsBackToPrimary: when neither attempt produces a 2xx
+// the primary's outcome surfaces, keeping retry semantics deterministic.
+func TestHedgeRaceFallsBackToPrimary(t *testing.T) {
+	var first atomic.Int32
+	c := New(
+		WithDoer(&fakeDoer{fn: func(_ int, _ *http.Request) (*http.Response, error) {
+			if first.CompareAndSwap(0, 1) {
+				time.Sleep(10 * time.Millisecond)
+				return respond(503, "primary down", nil), nil
+			}
+			return respond(404, "hedge misses", nil), nil
+		}}),
+		WithHedge(HedgePolicy{Percentile: 0.5, MinSamples: 1, BudgetFrac: 1.0}),
+	)
+	req, _ := http.NewRequest("GET", "https://h.example/broken", nil)
+	resp, err := c.race(req, "h.example", 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("race surfaced status %d, want the primary's 503", resp.StatusCode)
+	}
+}
+
+// TestHedgeSkipsNonClosedBreaker: an open breaker is already rationing
+// the host; the hedge trigger must not spend budget or probe slots.
+func TestHedgeSkipsNonClosedBreaker(t *testing.T) {
+	health := NewHealthRegistry(BreakerPolicy{FailureThreshold: 1, Cooldown: time.Hour})
+	health.ReportFailure("h.example", KindDial) // trips immediately
+	if health.State("h.example") != BreakerOpen {
+		t.Fatal("breaker not open after threshold-1 failure")
+	}
+	c := New(
+		WithBreaker(health),
+		WithHedge(HedgePolicy{Percentile: 0.5, MinSamples: 1, BudgetFrac: 1.0}),
+	)
+	c.mu.Lock()
+	c.requests = 100 // plenty of budget
+	c.mu.Unlock()
+	if c.allowHedge("h.example") {
+		t.Fatal("hedge allowed against an open breaker")
+	}
+	if s := c.Stats(); s.HedgesDenied != 1 || s.HedgesFired != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// TestStateDoesNotConsumeProbe: State is a read-only peek; Allow after
+// cooldown still gets its half-open probe.
+func TestStateDoesNotConsumeProbe(t *testing.T) {
+	health := NewHealthRegistry(BreakerPolicy{FailureThreshold: 1, Cooldown: time.Nanosecond})
+	health.ReportFailure("h.example", KindDial)
+	for i := 0; i < 3; i++ {
+		if st := health.State("h.example"); st != BreakerOpen {
+			t.Fatalf("peek %d changed state to %v", i, st)
+		}
+	}
+	time.Sleep(time.Millisecond) // past the cooldown: next Allow is the probe
+	if err := health.Allow("h.example"); err != nil {
+		t.Fatalf("half-open probe was consumed by State: %v", err)
+	}
+}
+
+// TestSubscribeSeesOutcomes: listeners observe successes, classified
+// failures and synthetic breaker-open refusals.
+func TestSubscribeSeesOutcomes(t *testing.T) {
+	health := NewHealthRegistry(BreakerPolicy{FailureThreshold: 1, Cooldown: time.Hour})
+	type event struct {
+		kind    ErrorKind
+		success bool
+	}
+	var events []event
+	health.Subscribe(func(host string, kind ErrorKind, success bool) {
+		if host != "h.example" {
+			t.Errorf("listener saw host %q", host)
+		}
+		events = append(events, event{kind, success})
+	})
+	health.ReportSuccess("h.example")
+	health.ReportFailure("h.example", Kind429)
+	health.ReportFailure("h.example", KindDial)
+	_ = health.Allow("h.example") // refused: breaker open
+	want := []event{{"", true}, {Kind429, false}, {KindDial, false}, {KindBreakerOpen, false}}
+	if len(events) != len(want) {
+		t.Fatalf("events %+v, want %+v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, events[i], want[i])
+		}
+	}
+}
+
+// TestZeroValueClientStillWorks pins the one-release compat window for
+// struct-literal construction: the zero value behaves like New().
+func TestZeroValueClientStillWorks(t *testing.T) {
+	c := &Client{HTTP: &fakeDoer{fn: func(_ int, _ *http.Request) (*http.Response, error) {
+		return respond(200, "legacy", nil), nil
+	}}}
+	req, _ := http.NewRequest("GET", "https://h.example/", nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if s := c.Stats(); s.Requests != 1 || s.HedgesFired != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestOptionsCompose(t *testing.T) {
+	fd := &fakeDoer{fn: func(_ int, req *http.Request) (*http.Response, error) {
+		if req.Header.Get("User-Agent") != "ua/1" || req.Header.Get("Authorization") != "Bearer tok" {
+			t.Errorf("headers not stamped: %v", req.Header)
+		}
+		return respond(200, "ok", nil), nil
+	}}
+	health := NewHealthRegistry(BreakerPolicy{})
+	c := New(
+		WithDoer(fd),
+		WithRetry(RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}),
+		WithLimiter(NewLimiter(0, 1)),
+		WithBreaker(health),
+		WithHedge(DefaultHedge),
+		WithUserAgent("ua/1"),
+		WithAuth("Bearer tok"),
+		WithSleep(noSleep),
+		WithRand(func() float64 { return 0 }),
+	)
+	if c.Health != health || c.Retry.MaxAttempts != 2 || !c.Hedge.enabled() {
+		t.Fatalf("options not applied: %+v", c)
+	}
+	req, _ := http.NewRequest("GET", "https://h.example/", nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+// guard against unused import when tests shrink
+var _ = context.Background

@@ -24,6 +24,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"flock/internal/vclock"
 )
 
 // Doer is the subset of *http.Client the kit needs; tests substitute it.
@@ -155,7 +157,14 @@ func SleepContext(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// Client wraps a Doer with pacing, retries and rate-limit awareness.
+// Client wraps a Doer with pacing, retries, rate-limit awareness,
+// per-host circuit breaking and tail-latency hedging.
+//
+// Construct clients with New and functional options. The zero value
+// (and direct struct-literal construction) keeps working for one more
+// release so existing call sites migrate gradually, but the rawhttp
+// analyzer in internal/lint flags Client composite literals outside
+// this package; new code must go through New.
 type Client struct {
 	// HTTP performs the requests; defaults to http.DefaultClient.
 	HTTP Doer
@@ -180,23 +189,37 @@ type Client struct {
 	// *HostError wrapping ErrCircuitOpen instead of burning the retry
 	// budget against a dead host.
 	Health *HealthRegistry
+	// Hedge enables tail-latency hedging for idempotent GET/HEAD
+	// requests (see HedgePolicy). The zero value disables it.
+	Hedge HedgePolicy
+	// Clock supplies the time base for latency digests and Retry-After
+	// arithmetic; nil means vclock.Wall. Virtual-time tests inject a
+	// vclock.Clock's Now so hedge percentiles replay deterministically.
+	Clock vclock.NowFunc
 
 	// stats
-	mu       sync.Mutex
-	requests int
-	retries  int
-	limited  int
-	shorts   int
-	dropped  int
+	mu           sync.Mutex
+	requests     int
+	retries      int
+	limited      int
+	shorts       int
+	dropped      int
+	hedges       int
+	hedgeWins    int
+	hedgesDenied int
+	digests      map[string]*latencyDigest
 }
 
 // Stats reports counters accumulated by the client.
 type Stats struct {
-	Requests       int // requests attempted (including retries)
+	Requests       int // requests attempted (including retries and hedges)
 	Retries        int // retried attempts
 	RateLimited    int // 429 responses observed
 	ShortCircuits  int // requests refused by an open circuit breaker
 	RetriesDropped int // retries refused because the body cannot be rewound
+	HedgesFired    int // backup attempts launched for slow requests
+	HedgeWins      int // hedged exchanges the backup attempt won
+	HedgesDenied   int // hedge triggers refused by budget or breaker state
 }
 
 // Stats returns a snapshot of client counters.
@@ -209,6 +232,9 @@ func (c *Client) Stats() Stats {
 		RateLimited:    c.limited,
 		ShortCircuits:  c.shorts,
 		RetriesDropped: c.dropped,
+		HedgesFired:    c.hedges,
+		HedgeWins:      c.hedgeWins,
+		HedgesDenied:   c.hedgesDenied,
 	}
 }
 
@@ -238,6 +264,13 @@ func (c *Client) wait(ctx context.Context, d time.Duration) error {
 		return c.Sleep(ctx, d)
 	}
 	return SleepContext(ctx, d)
+}
+
+func (c *Client) now() time.Time {
+	if c.Clock != nil {
+		return c.Clock()
+	}
+	return vclock.Wall()
 }
 
 // retryAfter extracts a server-requested wait from 429/503 responses:
@@ -275,10 +308,76 @@ func retryable(code int) bool {
 	return false
 }
 
-// Do performs req with pacing, retries and per-host circuit breaking.
-// The caller owns the response body on success. Non-2xx terminal
-// responses become *StatusError; requests refused by an open breaker
-// return a *HostError wrapping ErrCircuitOpen.
+// attempt performs one wire exchange: breaker admission, pacing,
+// header stamping, the round trip, latency observation and health
+// reporting. It returns the response whatever its status — retry and
+// non-2xx handling stay in Do — and is the unit the hedging race
+// duplicates.
+func (c *Client) attempt(r *http.Request, host string) (*http.Response, error) {
+	if c.Health != nil {
+		if err := c.Health.Allow(host); err != nil {
+			c.mu.Lock()
+			c.shorts++
+			c.mu.Unlock()
+			return nil, err
+		}
+	}
+	if c.Limiter != nil {
+		if err := c.Limiter.Wait(r.Context()); err != nil {
+			return nil, err
+		}
+	}
+	if c.UserAgent != "" {
+		r.Header.Set("User-Agent", c.UserAgent)
+	}
+	if c.Auth != "" {
+		r.Header.Set("Authorization", c.Auth)
+	}
+	c.mu.Lock()
+	c.requests++
+	c.mu.Unlock()
+	start := c.now()
+	resp, err := c.doer().Do(r)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// Cancellation (caller or a settled hedge race) is not a
+			// host failure; don't feed it to the breaker.
+			return nil, r.Context().Err()
+		}
+		c.Health.ReportFailure(host, Classify(err, 0))
+		return nil, err
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		c.observeLatency(host, c.now().Sub(start))
+		c.Health.ReportSuccess(host)
+		return resp, nil
+	}
+	c.Health.ReportFailure(host, Classify(nil, resp.StatusCode))
+	if resp.StatusCode == http.StatusTooManyRequests {
+		c.mu.Lock()
+		c.limited++
+		c.mu.Unlock()
+	}
+	return resp, nil
+}
+
+// send routes one exchange through the hedging race when the request
+// is hedgeable and the host's latency digest is warm, and straight to
+// attempt otherwise.
+func (c *Client) send(r *http.Request, host string) (*http.Response, error) {
+	if c.hedgeable(r) {
+		if delay, ok := c.hedgeDelay(host); ok {
+			return c.race(r, host, delay)
+		}
+	}
+	return c.attempt(r, host)
+}
+
+// Do performs req with pacing, retries, per-host circuit breaking and
+// (when configured) tail-latency hedging. The caller owns the response
+// body on success. Non-2xx terminal responses become *StatusError;
+// requests refused by an open breaker return a *HostError wrapping
+// ErrCircuitOpen.
 //
 // Body-bearing requests are only retried when req.GetBody can supply a
 // fresh copy (http.NewRequest sets it for common in-memory readers); a
@@ -304,24 +403,6 @@ func (c *Client) Do(req *http.Request) (*http.Response, error) {
 			c.retries++
 			c.mu.Unlock()
 		}
-		if c.Health != nil {
-			if err := c.Health.Allow(host); err != nil {
-				c.mu.Lock()
-				c.shorts++
-				c.mu.Unlock()
-				if lastErr != nil {
-					// The breaker tripped mid-retry: the underlying failure
-					// is more informative than the refusal.
-					return nil, fmt.Errorf("%w (circuit opened for %s)", lastErr, host)
-				}
-				return nil, err
-			}
-		}
-		if c.Limiter != nil {
-			if err := c.Limiter.Wait(req.Context()); err != nil {
-				return nil, err
-			}
-		}
 		r := req.Clone(req.Context())
 		if attempt > 1 && req.GetBody != nil {
 			body, err := req.GetBody()
@@ -330,22 +411,20 @@ func (c *Client) Do(req *http.Request) (*http.Response, error) {
 			}
 			r.Body = body
 		}
-		if c.UserAgent != "" {
-			r.Header.Set("User-Agent", c.UserAgent)
-		}
-		if c.Auth != "" {
-			r.Header.Set("Authorization", c.Auth)
-		}
-		c.mu.Lock()
-		c.requests++
-		c.mu.Unlock()
-		resp, err := c.doer().Do(r)
+		resp, err := c.send(r, host)
 		if err != nil {
-			lastErr = err
+			if errors.Is(err, ErrCircuitOpen) {
+				if lastErr != nil {
+					// The breaker tripped mid-retry: the underlying failure
+					// is more informative than the refusal.
+					return nil, fmt.Errorf("%w (circuit opened for %s)", lastErr, host)
+				}
+				return nil, err
+			}
 			if req.Context().Err() != nil {
 				return nil, req.Context().Err()
 			}
-			c.Health.ReportFailure(host, Classify(err, 0))
+			lastErr = err
 			if attempt < policy.MaxAttempts {
 				if werr := c.wait(req.Context(), policy.delay(attempt, c.rnd)); werr != nil {
 					return nil, werr
@@ -355,19 +434,12 @@ func (c *Client) Do(req *http.Request) (*http.Response, error) {
 			return nil, fmt.Errorf("httpkit: %s %s failed after %d attempts: %w", req.Method, req.URL, attempt, err)
 		}
 		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
-			c.Health.ReportSuccess(host)
 			return resp, nil
 		}
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		resp.Body.Close()
-		c.Health.ReportFailure(host, Classify(nil, resp.StatusCode))
-		if resp.StatusCode == http.StatusTooManyRequests {
-			c.mu.Lock()
-			c.limited++
-			c.mu.Unlock()
-		}
 		if retryable(resp.StatusCode) && attempt < policy.MaxAttempts {
-			d, ok := retryAfter(resp, time.Now())
+			d, ok := retryAfter(resp, c.now())
 			if !ok {
 				d = policy.delay(attempt, c.rnd)
 			}

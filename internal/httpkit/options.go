@@ -1,0 +1,59 @@
+package httpkit
+
+import (
+	"context"
+	"time"
+
+	"flock/internal/vclock"
+)
+
+// Option configures a Client built by New.
+type Option func(*Client)
+
+// New builds a Client from functional options. This is the supported
+// construction path: the rawhttp analyzer flags Client composite
+// literals outside this package, so every crawler, service and test
+// assembles its client here where defaults stay in one place.
+func New(opts ...Option) *Client {
+	c := &Client{}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// WithDoer sets the underlying transport (defaults to
+// http.DefaultClient when unset).
+func WithDoer(d Doer) Option { return func(c *Client) { c.HTTP = d } }
+
+// WithRetry sets the retry policy.
+func WithRetry(p RetryPolicy) Option { return func(c *Client) { c.Retry = p } }
+
+// WithLimiter sets the client-side token-bucket pacer.
+func WithLimiter(l *Limiter) Option { return func(c *Client) { c.Limiter = l } }
+
+// WithBreaker routes every request through the registry's per-host
+// circuit breakers.
+func WithBreaker(r *HealthRegistry) Option { return func(c *Client) { c.Health = r } }
+
+// WithHedge enables tail-latency hedging with the given policy.
+func WithHedge(p HedgePolicy) Option { return func(c *Client) { c.Hedge = p } }
+
+// WithClock sets the time base for latency digests and Retry-After
+// arithmetic (defaults to vclock.Wall).
+func WithClock(now vclock.NowFunc) Option { return func(c *Client) { c.Clock = now } }
+
+// WithUserAgent sets the User-Agent header stamped on every request.
+func WithUserAgent(ua string) Option { return func(c *Client) { c.UserAgent = ua } }
+
+// WithAuth sets the Authorization header value sent on every request.
+func WithAuth(auth string) Option { return func(c *Client) { c.Auth = auth } }
+
+// WithSleep overrides the wait function used for backoff and hedge
+// timers (tests substitute an instant or virtual-time sleeper).
+func WithSleep(sleep func(context.Context, time.Duration) error) Option {
+	return func(c *Client) { c.Sleep = sleep }
+}
+
+// WithRand overrides the jitter source in [0,1) used by retry backoff.
+func WithRand(rnd func() float64) Option { return func(c *Client) { c.Rand = rnd } }

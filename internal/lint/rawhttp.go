@@ -17,13 +17,35 @@ var rawhttpFuncs = map[string]bool{"Get": true, "Post": true, "PostForm": true, 
 // HealthRegistry error taxonomy see it — a request that bypasses them
 // silently corrupts the crawl's coverage accounting. Test files are
 // exempt (they often drive httptest servers directly).
+//
+// It also forbids httpkit.Client composite literals everywhere outside
+// internal/httpkit, test files included: struct-literal construction
+// pins the zero-value compat surface and silently misses fields New
+// wires (hedging, clock injection). Construct clients with httpkit.New
+// and functional options.
 var RawHTTP = &analysis.Analyzer{
 	Name: "rawhttp",
-	Doc:  "forbid raw outbound HTTP (http.Get/Post, http.DefaultClient, http.Client literals) outside internal/httpkit",
+	Doc:  "forbid raw outbound HTTP (http.Get/Post, http.DefaultClient, http.Client literals) and httpkit.Client struct literals outside internal/httpkit",
 	Run: func(pass *analysis.Pass) error {
 		if pass.Pkg.PathHasSegment("httpkit") {
 			return nil
 		}
+		// The httpkit.Client literal rule covers test files too: a test
+		// constructing a literal client would keep compiling after New
+		// gains wiring the literal misses.
+		eachFile(pass, true, func(f *ast.File) {
+			ast.Inspect(f, func(n ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok || lit.Type == nil {
+					return true
+				}
+				if sel, ok := pkgSel(f, lit.Type, "flock/internal/httpkit"); ok && sel == "Client" {
+					pass.Reportf(lit.Pos(), "httpkit.Client struct literal outside internal/httpkit; construct clients with httpkit.New(...) so option-wired behaviour (hedging, breakers, clock) is not silently dropped")
+					return false
+				}
+				return true
+			})
+		})
 		eachFile(pass, false, func(f *ast.File) {
 			ast.Inspect(f, func(n ast.Node) bool {
 				if lit, ok := n.(*ast.CompositeLit); ok && lit.Type != nil {

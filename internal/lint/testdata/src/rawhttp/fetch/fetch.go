@@ -1,8 +1,13 @@
-// Fixture: rawhttp must catch convenience calls, the default client and
-// ad-hoc client literals; servers and request construction stay legal.
+// Fixture: rawhttp must catch convenience calls, the default client,
+// ad-hoc net/http client literals and httpkit.Client struct literals;
+// servers, request construction and httpkit.New stay legal.
 package fetch
 
-import "net/http"
+import (
+	"net/http"
+
+	"flock/internal/httpkit"
+)
 
 func fetch() {
 	resp, _ := http.Get("https://mastodon.test/api/v1/instance") // want `http.Get issues an outbound request outside httpkit`
@@ -12,6 +17,15 @@ func fetch() {
 	_ = c
 	d := http.DefaultClient // want `http.DefaultClient bypasses the per-host circuit breakers`
 	_ = d
+}
+
+func literalKitClient() {
+	k := &httpkit.Client{UserAgent: "nope"} // want `httpkit.Client struct literal outside internal/httpkit`
+	_ = k
+	v := httpkit.Client{} // want `httpkit.Client struct literal outside internal/httpkit`
+	_ = v
+	ok := httpkit.New(httpkit.WithUserAgent("yes")) // New is the sanctioned constructor
+	_ = ok
 }
 
 func serverSideIsFine() {

@@ -1,10 +1,21 @@
-// Test files may drive servers directly; rawhttp exempts them.
+// Test files may drive servers directly; rawhttp exempts them from the
+// net/http checks — but NOT from the httpkit.Client literal rule, which
+// guards the constructor contract everywhere.
 package fetch
 
-import "net/http"
+import (
+	"net/http"
+
+	"flock/internal/httpkit"
+)
 
 func fetchInTest() {
 	resp, _ := http.Get("https://httptest.local/")
 	_ = resp
 	_ = http.DefaultClient
+}
+
+func literalKitClientInTest() {
+	k := &httpkit.Client{} // want `httpkit.Client struct literal outside internal/httpkit`
+	_ = k
 }

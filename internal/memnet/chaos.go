@@ -68,6 +68,15 @@ type ChaosSpec struct {
 	// BytesPerSec throttles the connection's combined read+write rate
 	// (slow-loris). 0 disables throttling.
 	BytesPerSec int
+
+	// PSlowReq stalls individual HTTP exchanges: each request served on
+	// a connection independently pauses for SlowReqDelay with this
+	// probability before the response bytes flow. Unlike Latency/Jitter
+	// (paid once, at dial time) this bites pooled keep-alive
+	// connections too, producing the bimodal per-request tail that
+	// hedged requests exist to cut.
+	PSlowReq     float64
+	SlowReqDelay time.Duration
 }
 
 // ChaosStats counts what the engine injected for one host.
@@ -76,6 +85,7 @@ type ChaosStats struct {
 	FailedDials  int // dials failed via PDialFail
 	FlapRejected int // dials refused inside a down window
 	Resets       int // connections reset mid-stream
+	SlowRequests int // exchanges stalled via PSlowReq
 }
 
 // chaosHost is the per-host runtime state behind a ChaosSpec.
@@ -104,9 +114,10 @@ func (c *chaosHost) dialRand(n int) *randx.Source {
 	return randx.New(c.hostSeed).SplitN("dial", n)
 }
 
-// plan decides the fate of one dial: the latency to apply and the
-// per-connection chaos parameters, or an error (fail/flap).
-func (c *chaosHost) plan() (latency time.Duration, resetAfter int64, bytesPerSec int, err error) {
+// plan decides the fate of one dial: the latency to apply plus a
+// pre-built connection wrapper when the spec injects mid-connection
+// chaos (nil when the bare pipe suffices), or an error (fail/flap).
+func (c *chaosHost) plan() (latency time.Duration, cc *chaosConn, err error) {
 	c.mu.Lock()
 	n := c.dials
 	c.dials++
@@ -119,13 +130,13 @@ func (c *chaosHost) plan() (latency time.Duration, resetAfter int64, bytesPerSec
 		if n%cycle >= c.spec.FlapUpDials {
 			c.stats.FlapRejected++
 			c.mu.Unlock()
-			return 0, 0, 0, ErrFlapDown
+			return 0, nil, ErrFlapDown
 		}
 	}
 	if c.spec.PDialFail > 0 && rng.Bool(c.spec.PDialFail) {
 		c.stats.FailedDials++
 		c.mu.Unlock()
-		return 0, 0, 0, ErrChaosDial
+		return 0, nil, ErrChaosDial
 	}
 	c.mu.Unlock()
 
@@ -133,6 +144,7 @@ func (c *chaosHost) plan() (latency time.Duration, resetAfter int64, bytesPerSec
 	if c.spec.Jitter > 0 {
 		latency += time.Duration(rng.Float64() * float64(c.spec.Jitter))
 	}
+	var resetAfter int64
 	if c.spec.PReset > 0 && rng.Bool(c.spec.PReset) {
 		max := c.spec.ResetAfterBytes
 		if max <= 0 {
@@ -140,7 +152,29 @@ func (c *chaosHost) plan() (latency time.Duration, resetAfter int64, bytesPerSec
 		}
 		resetAfter = 1 + rng.Int63n(int64(max))
 	}
-	return latency, resetAfter, c.spec.BytesPerSec, nil
+	if resetAfter > 0 || c.spec.BytesPerSec > 0 || c.slowReqs() {
+		cc = &chaosConn{host: c, resetAfter: resetAfter, bytesPerSec: c.spec.BytesPerSec}
+		if c.slowReqs() {
+			// Per-exchange decisions draw from a stream keyed by
+			// (host seed, dial index): deterministic per connection,
+			// independent across connections.
+			cc.slowRng = randx.New(c.hostSeed).SplitN("slowreq", n)
+			cc.pSlow = c.spec.PSlowReq
+			cc.slowDelay = c.spec.SlowReqDelay
+		}
+	}
+	return latency, cc, nil
+}
+
+// slowReqs reports whether the spec stalls individual exchanges.
+func (c *chaosHost) slowReqs() bool {
+	return c.spec.PSlowReq > 0 && c.spec.SlowReqDelay > 0
+}
+
+func (c *chaosHost) recordSlow() {
+	c.mu.Lock()
+	c.stats.SlowRequests++
+	c.mu.Unlock()
 }
 
 func (c *chaosHost) recordReset() {
@@ -180,14 +214,22 @@ func (f *Fabric) ChaosStats(host string) ChaosStats {
 	return c.snapshot()
 }
 
-// chaosConn wraps a fabric conn with reset-after-N-bytes and byte-rate
-// throttling. The reset closes the underlying pipe so the peer observes
-// the failure too.
+// chaosConn wraps a fabric conn with reset-after-N-bytes, byte-rate
+// throttling and per-exchange stalls. The reset closes the underlying
+// pipe so the peer observes the failure too.
 type chaosConn struct {
 	net.Conn
 	host        *chaosHost
 	resetAfter  int64 // total bytes before the reset fires; 0 = never
 	bytesPerSec int   // combined read+write throttle; 0 = unthrottled
+
+	// Per-exchange tail injection (PSlowReq): the first Read after a
+	// Write marks a request/response turnaround and may stall.
+	slowRng   *randx.Source // nil: no slow-request injection
+	pSlow     float64
+	slowDelay time.Duration
+	slowMu    sync.Mutex
+	wroteLast atomic.Bool
 
 	transferred atomic.Int64
 	tripped     atomic.Bool
@@ -217,10 +259,28 @@ func (c *chaosConn) resetErr(op string) error {
 	return &net.OpError{Op: op, Net: "memnet", Err: ErrConnReset}
 }
 
+// maybeStall fires at a write→read turnaround: the request is on the
+// wire and the caller is about to read the response head. With
+// probability pSlow the exchange stalls for slowDelay, modelling an
+// overloaded worker rather than a slow link.
+func (c *chaosConn) maybeStall() {
+	if c.slowRng == nil || !c.wroteLast.CompareAndSwap(true, false) {
+		return
+	}
+	c.slowMu.Lock()
+	slow := c.slowRng.Bool(c.pSlow)
+	c.slowMu.Unlock()
+	if slow {
+		c.host.recordSlow()
+		time.Sleep(c.slowDelay)
+	}
+}
+
 func (c *chaosConn) Read(p []byte) (int, error) {
 	if c.tripped.Load() {
 		return 0, c.resetErr("read")
 	}
+	c.maybeStall()
 	n, err := c.Conn.Read(p)
 	c.account(n)
 	if err == nil && c.tripped.Load() {
@@ -233,6 +293,9 @@ func (c *chaosConn) Read(p []byte) (int, error) {
 func (c *chaosConn) Write(p []byte) (int, error) {
 	if c.tripped.Load() {
 		return 0, c.resetErr("write")
+	}
+	if c.slowRng != nil {
+		c.wroteLast.Store(true)
 	}
 	n, err := c.Conn.Write(p)
 	c.account(n)

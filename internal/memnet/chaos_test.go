@@ -221,3 +221,43 @@ func TestRandomStormSeededAndApplied(t *testing.T) {
 		}
 	}
 }
+
+func TestChaosSlowRequestsStallPooledConns(t *testing.T) {
+	run := func() (slow int, d time.Duration) {
+		f := NewFabric()
+		defer f.Close()
+		stop, err := f.Serve(context.Background(), "tail.test", echoHandler(256))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer stop()
+		f.SetChaos("tail.test", &ChaosSpec{Seed: 11, PSlowReq: 0.5, SlowReqDelay: 20 * time.Millisecond})
+		client := f.Client()
+		t0 := time.Now()
+		// Sequential requests reuse one pooled keep-alive conn, so the
+		// dial-time knobs would only fire once; PSlowReq bites every
+		// exchange.
+		for i := 0; i < 12; i++ {
+			resp, err := client.Get("https://tail.test/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return f.ChaosStats("tail.test").SlowRequests, time.Since(t0)
+	}
+	slow1, d := run()
+	if slow1 == 0 || slow1 >= 12 {
+		t.Fatalf("PSlowReq=0.5 stalled %d/12 exchanges", slow1)
+	}
+	// The transport's read loop may absorb one stall asynchronously after
+	// the final response, so only slow1-1 stalls are visible in wall time.
+	if want := time.Duration(slow1-1) * 20 * time.Millisecond; d < want {
+		t.Fatalf("%d stalls finished in %v, want >= %v", slow1, d, want)
+	}
+	slow2, _ := run()
+	if slow1 != slow2 {
+		t.Fatalf("identically seeded runs stalled %d vs %d exchanges", slow1, slow2)
+	}
+}

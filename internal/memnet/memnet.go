@@ -136,11 +136,10 @@ func (f *Fabric) DialContext(ctx context.Context, host string) (net.Conn, error)
 		return nil, &net.OpError{Op: "dial", Net: "memnet", Err: ErrNoSuchHost}
 	}
 	latency := time.Duration(0)
-	var resetAfter int64
-	var bytesPerSec int
+	var cc *chaosConn
 	if ch != nil {
 		var cerr error
-		latency, resetAfter, bytesPerSec, cerr = ch.plan()
+		latency, cc, cerr = ch.plan()
 		if cerr != nil {
 			return nil, &net.OpError{Op: "dial", Net: "memnet", Err: cerr}
 		}
@@ -158,8 +157,9 @@ func (f *Fabric) DialContext(ctx context.Context, host string) (net.Conn, error)
 	client, server := net.Pipe()
 	select {
 	case l.conns <- server:
-		if ch != nil && (resetAfter > 0 || bytesPerSec > 0) {
-			return &chaosConn{Conn: client, host: ch, resetAfter: resetAfter, bytesPerSec: bytesPerSec}, nil
+		if cc != nil {
+			cc.Conn = client
+			return cc, nil
 		}
 		return client, nil
 	case <-l.done:
