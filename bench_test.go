@@ -36,6 +36,7 @@ import (
 	"flock/internal/report"
 	"flock/internal/stats"
 	"flock/internal/textkit"
+	"flock/internal/textsim"
 	"flock/internal/toxsvc"
 	"flock/internal/trendsvc"
 	"flock/internal/vclock"
@@ -550,4 +551,52 @@ func BenchmarkAblationTailLatency(b *testing.B) {
 		b.ReportMetric(float64(st.HedgesDenied), "hedges_denied")
 		b.ReportMetric(float64(maxWin), "max_host_window")
 	})
+}
+
+// BenchmarkAblationParallelAnalysis quantifies the deterministic
+// parallel analysis engine: the full RQ hot path (centralization,
+// contagion, the quadratic Fig. 14 similarity scan, toxicity,
+// retention) serially, then on the kernels at 1/2/4/8 workers, then
+// with the shared embedding cache on top. Results are byte-identical
+// across all variants (see TestAnalysisDeterministicAcrossWorkers);
+// only wall-clock and allocations move.
+func BenchmarkAblationParallelAnalysis(b *testing.B) {
+	res := benchResult(b)
+	ds := res.Dataset
+	suite := func(eng analysis.Engine) {
+		_ = eng.RQ1(ds)
+		_ = eng.RQ2Contagion(ds)
+		_ = eng.RQ3Overlap(ds, analysis.OverlapOptions{})
+		_ = eng.RQ3Toxicity(ds, analysis.ToxicityOptions{ScoreFn: toxsvc.Score})
+		_ = eng.RQ4Retention(ds)
+	}
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			suite(analysis.Engine{Workers: 1})
+		}
+	})
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		b.Run("parallel_w"+strconv.Itoa(w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				suite(analysis.Engine{Workers: w})
+			}
+		})
+		b.Run("parallel_cache_w"+strconv.Itoa(w), func(b *testing.B) {
+			// One cache across iterations: embeddings are immutable and
+			// keyed by canonical text, so cross-run reuse is sound. One
+			// warm-up pass fills it outside the timer — the steady-state
+			// ns/op and allocs/op delta against the uncached variant is
+			// the win repeated analyses (reports, figure sweeps) see.
+			cache := textsim.NewCache()
+			suite(analysis.Engine{Workers: w, Cache: cache})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				suite(analysis.Engine{Workers: w, Cache: cache})
+			}
+		})
+	}
 }

@@ -94,6 +94,7 @@ func main() {
 			log.Fatalf("%s: %v", name, err)
 		}
 		log.Printf("%-10s http://127.0.0.1:%d", name, port)
+		//lint:allow goroutine demo servers live for the whole process; http.Serve blocks per listener
 		go func() {
 			if err := http.Serve(l, h); err != nil {
 				log.Printf("%s stopped: %v", name, err)

@@ -6,6 +6,7 @@
 //
 //	figures -data DIR [-fig N|all]
 //	figures -migrants 500 -fig 5
+//	figures -workers 4 -timing        # parallel analysis + per-pass wall-clock
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"log"
 	"os"
 	"strconv"
+	"time"
 
 	"flock/internal/core"
 	"flock/internal/report"
@@ -26,11 +28,18 @@ func main() {
 	migrants := flag.Int("migrants", 500, "world size when no -data is given")
 	seed := flag.Uint64("seed", 1, "world seed when no -data is given")
 	fig := flag.String("fig", "all", `figure number 1-16 or "all"`)
+	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS); results are identical at any setting")
+	timing := flag.Bool("timing", false, "log per-analysis elapsed wall-clock to stderr")
 	flag.Parse()
 
 	var res *core.Result
 	cfg := core.DefaultConfig(*migrants)
 	cfg.ScoreToxicity = false
+	cfg.AnalysisWorkers = *workers
+	if *timing {
+		cfg.Logf = log.Printf
+	}
+	analyzeStart := time.Now()
 	if *data != "" {
 		ds, manifest, err := store.Load(*data)
 		if err != nil {
@@ -45,6 +54,9 @@ func main() {
 		if err != nil {
 			log.Fatalf("pipeline: %v", err)
 		}
+	}
+	if *timing {
+		log.Printf("pipeline+analysis total %s", time.Since(analyzeStart).Round(time.Millisecond))
 	}
 
 	if *fig == "all" {

@@ -262,7 +262,7 @@ func TestRQ3Overlap(t *testing.T) {
 	mkTimelines(ds, "u0",
 		[]crawler.Post{{ID: "1", Time: at, Text: tweetText, Toxicity: -1}},
 		[]crawler.Post{
-			{ID: "2", Time: at, Text: tweetText, Toxicity: -1},                       // identical
+			{ID: "2", Time: at, Text: tweetText, Toxicity: -1},                                      // identical
 			{ID: "3", Time: at, Text: "totally unrelated gardening words about soil", Toxicity: -1}, // different
 		})
 	o := RQ3Overlap(ds, OverlapOptions{})

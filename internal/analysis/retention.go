@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"flock/internal/crawler"
+	"flock/internal/parallel"
 	"flock/internal/stats"
 	"flock/internal/vclock"
 )
@@ -34,33 +35,46 @@ type RetentionResult struct {
 // RetentionWindow is the end-of-study activity window, in days.
 const RetentionWindow = 14
 
+// retention classes for the per-user fold.
+const (
+	retSilent = iota
+	retRetained
+	retReturned
+	retLapsed
+)
+
 // RQ4Retention computes the retention extension over crawled timelines.
-func RQ4Retention(ds *crawler.Dataset) *RetentionResult {
+func (e Engine) RQ4Retention(ds *crawler.Dataset) *RetentionResult {
 	out := &RetentionResult{DailyActiveUsers: make([]int, vclock.StudyDays)}
 	cutoff := vclock.StudyEnd.Add(-time.Duration(RetentionWindow-1) * 24 * time.Hour)
 
-	var retained, returned, lapsed int
-	var daysActive []float64
-	daily := make([]map[string]bool, vclock.StudyDays)
-	for d := range daily {
-		daily[d] = map[string]bool{}
+	ids := sortedKeys(ds.MastodonTimelines)
+	type userRow struct {
+		class      int
+		activeDays [vclock.StudyDays]bool
+		daysActive float64
 	}
-	for id, mtl := range ds.MastodonTimelines {
+	slots := parallel.MapSlice(e.Workers, len(ids), func(i int) userRow {
+		id := ids[i]
+		mtl := ds.MastodonTimelines[id]
 		if mtl.State != crawler.StateOK || len(mtl.Posts) == 0 {
-			continue
+			return userRow{class: retSilent}
 		}
-		days := map[int]bool{}
+		var r userRow
+		days := 0
 		mastodonLate := false
 		for _, p := range mtl.Posts {
 			if d := vclock.Day(p.Time); d >= 0 && d < vclock.StudyDays {
-				days[d] = true
-				daily[d][id] = true
+				if !r.activeDays[d] {
+					r.activeDays[d] = true
+					days++
+				}
 			}
 			if !p.Time.Before(cutoff) {
 				mastodonLate = true
 			}
 		}
-		daysActive = append(daysActive, float64(len(days)))
+		r.daysActive = float64(days)
 		twitterLate := false
 		if ttl := ds.TwitterTimelines[id]; ttl != nil && ttl.State == crawler.StateOK {
 			for _, p := range ttl.Posts {
@@ -72,11 +86,34 @@ func RQ4Retention(ds *crawler.Dataset) *RetentionResult {
 		}
 		switch {
 		case mastodonLate:
-			retained++
+			r.class = retRetained
 		case twitterLate:
-			returned++
+			r.class = retReturned
 		default:
+			r.class = retLapsed
+		}
+		return r
+	})
+
+	var retained, returned, lapsed int
+	var daysActive []float64
+	for i := range slots {
+		r := &slots[i]
+		switch r.class {
+		case retSilent:
+			continue
+		case retRetained:
+			retained++
+		case retReturned:
+			returned++
+		case retLapsed:
 			lapsed++
+		}
+		daysActive = append(daysActive, r.daysActive)
+		for d := range r.activeDays {
+			if r.activeDays[d] {
+				out.DailyActiveUsers[d]++
+			}
 		}
 	}
 	out.Classified = retained + returned + lapsed
@@ -87,8 +124,5 @@ func RQ4Retention(ds *crawler.Dataset) *RetentionResult {
 		out.LapsedFrac = float64(lapsed) / n
 	}
 	out.DaysActive = stats.NewECDF(daysActive)
-	for d := range daily {
-		out.DailyActiveUsers[d] = len(daily[d])
-	}
 	return out
 }

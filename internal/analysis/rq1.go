@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"flock/internal/crawler"
+	"flock/internal/parallel"
 	"flock/internal/stats"
 	"flock/internal/vclock"
 )
@@ -73,43 +74,69 @@ type Centralization struct {
 	Gini float64
 }
 
+// rq1Partial is the per-shard accumulator of the RQ1 pair scan: only
+// commutative integer counters, so merge order cannot matter.
+type rq1Partial struct {
+	perInstance  map[string]*InstanceCount
+	pre          int
+	verified     int
+	sameUsername int
+}
+
 // RQ1 computes the centralization results.
-func RQ1(ds *crawler.Dataset) *Centralization {
+func (e Engine) RQ1(ds *crawler.Dataset) *Centralization {
 	out := &Centralization{}
 
 	// Migrants per final instance, split by account-creation time.
-	perInstance := map[string]*InstanceCount{}
-	pre := 0
-	verified, sameUsername := 0, 0
-	for i := range ds.Pairs {
-		p := &ds.Pairs[i]
-		domain := p.FinalDomain()
-		c := perInstance[domain]
-		if c == nil {
-			c = &InstanceCount{Domain: domain}
-			perInstance[domain] = c
-		}
-		isPre := p.MastodonVerified && p.MastodonCreatedAt.Before(vclock.Takeover)
-		if isPre {
-			c.Pre++
-			pre++
-		} else {
-			c.Post++
-		}
-		if p.Verified {
-			verified++
-		}
-		if p.SameUsername {
-			sameUsername++
-		}
-	}
+	agg := parallel.ReduceSharded(e.Workers, len(ds.Pairs),
+		func(lo, hi int) rq1Partial {
+			part := rq1Partial{perInstance: map[string]*InstanceCount{}}
+			for i := lo; i < hi; i++ {
+				p := &ds.Pairs[i]
+				domain := p.FinalDomain()
+				c := part.perInstance[domain]
+				if c == nil {
+					c = &InstanceCount{Domain: domain}
+					part.perInstance[domain] = c
+				}
+				isPre := p.MastodonVerified && p.MastodonCreatedAt.Before(vclock.Takeover)
+				if isPre {
+					c.Pre++
+					part.pre++
+				} else {
+					c.Post++
+				}
+				if p.Verified {
+					part.verified++
+				}
+				if p.SameUsername {
+					part.sameUsername++
+				}
+			}
+			return part
+		},
+		func(a, b rq1Partial) rq1Partial {
+			for domain, c := range b.perInstance {
+				if ac := a.perInstance[domain]; ac != nil {
+					ac.Pre += c.Pre
+					ac.Post += c.Post
+				} else {
+					a.perInstance[domain] = c
+				}
+			}
+			a.pre += b.pre
+			a.verified += b.verified
+			a.sameUsername += b.sameUsername
+			return a
+		})
 	n := len(ds.Pairs)
 	if n == 0 {
 		return out
 	}
-	out.PreTakeoverAccountFrac = float64(pre) / float64(n)
-	out.VerifiedFrac = float64(verified) / float64(n)
-	out.SameUsernameFrac = float64(sameUsername) / float64(n)
+	perInstance := agg.perInstance
+	out.PreTakeoverAccountFrac = float64(agg.pre) / float64(n)
+	out.VerifiedFrac = float64(agg.verified) / float64(n)
+	out.SameUsernameFrac = float64(agg.sameUsername) / float64(n)
 	out.InstancesReceiving = len(perInstance)
 
 	counts := make([]InstanceCount, 0, len(perInstance))
@@ -171,42 +198,51 @@ func RQ1(ds *crawler.Dataset) *Centralization {
 	}
 	out.Gini = stats.Gini(massOnly)
 
-	out.computeBuckets(ds, perInstance)
+	out.computeBuckets(e, ds, perInstance)
 	return out
 }
 
 // computeBuckets builds the Fig. 6 quantile CDFs over the §4 cohort:
 // users who joined after the acquisition with accounts at least 30 days
 // old at crawl time.
-func (c *Centralization) computeBuckets(ds *crawler.Dataset, perInstance map[string]*InstanceCount) {
+func (c *Centralization) computeBuckets(e Engine, ds *crawler.Dataset, perInstance map[string]*InstanceCount) {
 	type userRow struct {
+		ok        bool
 		size      int // instance migrant count
 		followers float64
 		followees float64
 		statuses  float64
 	}
-	var rows []userRow
-	for i := range ds.Pairs {
+	// Eligibility and row extraction fan out per pair; the filter fold
+	// below runs serially in pair order so rows keep a stable order.
+	slots := parallel.MapSlice(e.Workers, len(ds.Pairs), func(i int) userRow {
 		p := &ds.Pairs[i]
 		if !p.MastodonVerified {
-			continue
+			return userRow{}
 		}
 		if p.MastodonCreatedAt.Before(vclock.Takeover) {
-			continue // §4: joined after the acquisition
+			return userRow{} // §4: joined after the acquisition
 		}
 		if vclock.CrawlTime.Sub(p.MastodonCreatedAt) < 30*24*time.Hour {
-			continue // §4: at least 30 days old for a fair comparison
+			return userRow{} // §4: at least 30 days old for a fair comparison
 		}
 		ic := perInstance[p.FinalDomain()]
 		if ic == nil {
-			continue
+			return userRow{}
 		}
-		rows = append(rows, userRow{
+		return userRow{
+			ok:        true,
 			size:      ic.Total(),
 			followers: float64(p.MastodonFollowers),
 			followees: float64(p.MastodonFollowing),
 			statuses:  float64(p.MastodonStatuses),
-		})
+		}
+	})
+	var rows []userRow
+	for _, r := range slots {
+		if r.ok {
+			rows = append(rows, r)
+		}
 	}
 	if len(rows) == 0 {
 		return

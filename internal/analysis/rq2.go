@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"flock/internal/crawler"
+	"flock/internal/parallel"
 	"flock/internal/stats"
 	"flock/internal/vclock"
 )
@@ -33,34 +34,57 @@ type NetworkSizes struct {
 }
 
 // SocialNetworkSizes computes Fig. 7 over all verified pairs.
-func SocialNetworkSizes(ds *crawler.Dataset) *NetworkSizes {
+func (e Engine) SocialNetworkSizes(ds *crawler.Dataset) *NetworkSizes {
 	out := &NetworkSizes{}
+	type row struct {
+		ok                 bool
+		twF, twE, mF, mE   float64
+		noTwF, noTwE, noMF bool
+		noME, moreM        bool
+	}
+	slots := parallel.MapSlice(e.Workers, len(ds.Pairs), func(i int) row {
+		p := &ds.Pairs[i]
+		if !p.MastodonVerified {
+			return row{}
+		}
+		return row{
+			ok:    true,
+			twF:   float64(p.TwitterFollowers),
+			twE:   float64(p.TwitterFollowing),
+			mF:    float64(p.MastodonFollowers),
+			mE:    float64(p.MastodonFollowing),
+			noTwF: p.TwitterFollowers == 0,
+			noTwE: p.TwitterFollowing == 0,
+			noMF:  p.MastodonFollowers == 0,
+			noME:  p.MastodonFollowing == 0,
+			moreM: p.MastodonFollowers > p.TwitterFollowers,
+		}
+	})
 	var twF, twE, mF, mE []float64
 	var noTwF, noTwE, noMF, noME, moreM int
 	n := 0
-	for i := range ds.Pairs {
-		p := &ds.Pairs[i]
-		if !p.MastodonVerified {
+	for _, r := range slots {
+		if !r.ok {
 			continue
 		}
 		n++
-		twF = append(twF, float64(p.TwitterFollowers))
-		twE = append(twE, float64(p.TwitterFollowing))
-		mF = append(mF, float64(p.MastodonFollowers))
-		mE = append(mE, float64(p.MastodonFollowing))
-		if p.TwitterFollowers == 0 {
+		twF = append(twF, r.twF)
+		twE = append(twE, r.twE)
+		mF = append(mF, r.mF)
+		mE = append(mE, r.mE)
+		if r.noTwF {
 			noTwF++
 		}
-		if p.TwitterFollowing == 0 {
+		if r.noTwE {
 			noTwE++
 		}
-		if p.MastodonFollowers == 0 {
+		if r.noMF {
 			noMF++
 		}
-		if p.MastodonFollowing == 0 {
+		if r.noME {
 			noME++
 		}
-		if p.MastodonFollowers > p.TwitterFollowers {
+		if r.moreM {
 			moreM++
 		}
 	}
@@ -108,31 +132,42 @@ type Contagion struct {
 }
 
 // RQ2Contagion computes the social-influence results.
-func RQ2Contagion(ds *crawler.Dataset) *Contagion {
+func (e Engine) RQ2Contagion(ds *crawler.Dataset) *Contagion {
 	out := &Contagion{}
 	pairs := ds.PairByTwitterID()
 
-	var fracMigrated, fracBefore, fracSame []float64
-	var none, first, last int
-	sameByDomain := map[string]int{}
-	sameTotal := 0
+	// Sorted user IDs make the per-user fold order (and hence every
+	// float accumulation below) independent of Go map iteration order.
+	ids := sortedKeys(ds.TwitterFollowees)
 
-	for userID, followees := range ds.TwitterFollowees {
+	type egoRow struct {
+		ok            bool
+		followees     int
+		fracMigrated  float64
+		migrated      int
+		fracBefore    float64
+		fracSame      float64
+		anyBefore     bool
+		anyAfter      bool
+		sameColocated bool
+		myDomain      string
+	}
+	slots := parallel.MapSlice(e.Workers, len(ids), func(i int) egoRow {
+		userID := ids[i]
+		followees := ds.TwitterFollowees[userID]
 		me := pairs[userID]
 		if me == nil || !me.MastodonVerified {
-			continue
+			return egoRow{}
 		}
-		out.SampleSize++
-		out.FolloweeEdges += len(followees)
+		r := egoRow{ok: true, followees: len(followees)}
 		if len(followees) == 0 {
-			continue
+			return r
 		}
 		migrated := 0
 		before := 0
 		sameInst := 0
 		myDomain := me.FinalDomain()
 		myJoin := me.MastodonCreatedAt
-		anyBefore, anyAfter := false, false
 		for _, f := range followees {
 			fp := pairs[f.TwitterID]
 			if fp == nil || !fp.MastodonVerified {
@@ -141,29 +176,53 @@ func RQ2Contagion(ds *crawler.Dataset) *Contagion {
 			migrated++
 			if fp.MastodonCreatedAt.Before(myJoin) {
 				before++
-				anyBefore = true
+				r.anyBefore = true
 			} else {
-				anyAfter = true
+				r.anyAfter = true
 			}
 			if fp.FinalDomain() == myDomain {
 				sameInst++
 			}
 		}
-		fracMigrated = append(fracMigrated, float64(migrated)/float64(len(followees)))
-		if migrated == 0 {
+		r.fracMigrated = float64(migrated) / float64(len(followees))
+		r.migrated = migrated
+		if migrated > 0 {
+			r.fracBefore = float64(before) / float64(migrated)
+			r.fracSame = float64(sameInst) / float64(migrated)
+			r.sameColocated = sameInst > 0
+			r.myDomain = myDomain
+		}
+		return r
+	})
+
+	var fracMigrated, fracBefore, fracSame []float64
+	var none, first, last int
+	sameByDomain := map[string]int{}
+	sameTotal := 0
+	for _, r := range slots {
+		if !r.ok {
+			continue
+		}
+		out.SampleSize++
+		out.FolloweeEdges += r.followees
+		if r.followees == 0 {
+			continue
+		}
+		fracMigrated = append(fracMigrated, r.fracMigrated)
+		if r.migrated == 0 {
 			none++
 			continue
 		}
-		fracBefore = append(fracBefore, float64(before)/float64(migrated))
-		fracSame = append(fracSame, float64(sameInst)/float64(migrated))
-		if !anyBefore {
+		fracBefore = append(fracBefore, r.fracBefore)
+		fracSame = append(fracSame, r.fracSame)
+		if !r.anyBefore {
 			first++ // user migrated before every migrating followee
 		}
-		if !anyAfter {
+		if !r.anyAfter {
 			last++
 		}
-		if sameInst > 0 {
-			sameByDomain[myDomain]++
+		if r.sameColocated {
+			sameByDomain[r.myDomain]++
 			sameTotal++
 		}
 	}
@@ -199,9 +258,9 @@ type Switching struct {
 	// Fig. 10 CDFs over switchers with followee data: fraction of
 	// migrated followees on the first instance, on the second instance,
 	// and (of those on the second) who arrived before the user switched.
-	FracFirst        *stats.ECDF
-	FracSecond       *stats.ECDF
-	FracSecondBefore *stats.ECDF
+	FracFirst            *stats.ECDF
+	FracSecond           *stats.ECDF
+	FracSecondBefore     *stats.ECDF
 	MeanFracFirst        float64 // paper: 11.4%
 	MeanFracSecond       float64 // paper: 46.98%
 	MeanFracSecondBefore float64 // paper: 77.42%
@@ -210,7 +269,7 @@ type Switching struct {
 }
 
 // RQ2Switching computes the instance-switching results.
-func RQ2Switching(ds *crawler.Dataset) *Switching {
+func (e Engine) RQ2Switching(ds *crawler.Dataset) *Switching {
 	out := &Switching{Chord: stats.NewChord()}
 	if len(ds.Pairs) == 0 {
 		return out
@@ -218,8 +277,10 @@ func RQ2Switching(ds *crawler.Dataset) *Switching {
 	pairs := ds.PairByTwitterID()
 
 	// Count migrants per first-instance domain to spot flagships (top 3
-	// by incoming migrants approximate the paper's flagship set).
-	perDomain := map[string]int{}
+	// by incoming migrants approximate the paper's flagship set). The
+	// domain universe is bounded by the instance index, so pre-sizing
+	// avoids rehash churn on large crawls.
+	perDomain := make(map[string]int, len(ds.Instances))
 	for i := range ds.Pairs {
 		perDomain[ds.Pairs[i].Handle.Domain]++
 	}
@@ -227,7 +288,7 @@ func RQ2Switching(ds *crawler.Dataset) *Switching {
 		d string
 		n int
 	}
-	var ranked []dc
+	ranked := make([]dc, 0, len(perDomain))
 	for d, n := range perDomain {
 		ranked = append(ranked, dc{d, n})
 	}
@@ -237,7 +298,7 @@ func RQ2Switching(ds *crawler.Dataset) *Switching {
 		}
 		return ranked[i].d < ranked[j].d
 	})
-	bigDomains := map[string]bool{}
+	bigDomains := make(map[string]bool, 3)
 	k := 3
 	if k >= len(ranked) {
 		k = len(ranked) - 1 // always leave at least one non-big domain
@@ -270,14 +331,21 @@ func RQ2Switching(ds *crawler.Dataset) *Switching {
 		out.FlagshipToTopicalFrac = float64(fromBig) / float64(len(switchers))
 	}
 
-	// Fig. 10: ego networks of switchers.
-	var fFirst, fSecond, fSecondBefore []float64
-	for _, p := range switchers {
+	// Fig. 10: ego networks of switchers, one slot per switcher.
+	type egoRow struct {
+		hasEgo          bool
+		migrated        int
+		fFirst, fSecond float64
+		hasSecond       bool
+		fSecondBefore   float64
+	}
+	slots := parallel.MapSlice(e.Workers, len(switchers), func(i int) egoRow {
+		p := switchers[i]
 		followees, ok := ds.TwitterFollowees[p.TwitterID]
 		if !ok {
-			continue
+			return egoRow{}
 		}
-		out.SwitchersWithEgo++
+		r := egoRow{hasEgo: true}
 		migrated, onFirst, onSecond, secondBefore := 0, 0, 0, 0
 		for _, f := range followees {
 			fp := pairs[f.TwitterID]
@@ -303,13 +371,30 @@ func RQ2Switching(ds *crawler.Dataset) *Switching {
 				}
 			}
 		}
-		if migrated == 0 {
+		r.migrated = migrated
+		if migrated > 0 {
+			r.fFirst = float64(onFirst) / float64(migrated)
+			r.fSecond = float64(onSecond) / float64(migrated)
+			if onSecond > 0 {
+				r.hasSecond = true
+				r.fSecondBefore = float64(secondBefore) / float64(onSecond)
+			}
+		}
+		return r
+	})
+	var fFirst, fSecond, fSecondBefore []float64
+	for _, r := range slots {
+		if !r.hasEgo {
 			continue
 		}
-		fFirst = append(fFirst, float64(onFirst)/float64(migrated))
-		fSecond = append(fSecond, float64(onSecond)/float64(migrated))
-		if onSecond > 0 {
-			fSecondBefore = append(fSecondBefore, float64(secondBefore)/float64(onSecond))
+		out.SwitchersWithEgo++
+		if r.migrated == 0 {
+			continue
+		}
+		fFirst = append(fFirst, r.fFirst)
+		fSecond = append(fSecond, r.fSecond)
+		if r.hasSecond {
+			fSecondBefore = append(fSecondBefore, r.fSecondBefore)
 		}
 	}
 	out.FracFirst = stats.NewECDF(fFirst)

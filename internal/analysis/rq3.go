@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"flock/internal/crawler"
+	"flock/internal/parallel"
 	"flock/internal/stats"
 	"flock/internal/textkit"
 	"flock/internal/textsim"
@@ -24,8 +25,40 @@ type DailyActivity struct {
 	Statuses []int
 }
 
+// dayCounts is a fixed-size per-shard histogram over study days; shard
+// merges are elementwise integer adds (commutative).
+type dayCounts [vclock.StudyDays]int
+
+func (a *dayCounts) add(b *dayCounts) {
+	for d := range a {
+		a[d] += b[d]
+	}
+}
+
+// countTimelineDays histograms posts over study days, sharded across
+// workers; posts(i) yields the i-th user's timeline in id-sorted order.
+func countTimelineDays(workers, n int, posts func(i int) []crawler.Post) *dayCounts {
+	out := parallel.ReduceSharded(workers, n,
+		func(lo, hi int) *dayCounts {
+			var c dayCounts
+			for i := lo; i < hi; i++ {
+				for _, p := range posts(i) {
+					if d := vclock.Day(p.Time); d >= 0 && d < vclock.StudyDays {
+						c[d]++
+					}
+				}
+			}
+			return &c
+		},
+		func(a, b *dayCounts) *dayCounts { a.add(b); return a })
+	if out == nil {
+		out = &dayCounts{}
+	}
+	return out
+}
+
 // Timelines computes Fig. 11 over the crawled timelines.
-func Timelines(ds *crawler.Dataset) *DailyActivity {
+func (e Engine) Timelines(ds *crawler.Dataset) *DailyActivity {
 	out := &DailyActivity{
 		Days:     make([]string, vclock.StudyDays),
 		Tweets:   make([]int, vclock.StudyDays),
@@ -34,20 +67,16 @@ func Timelines(ds *crawler.Dataset) *DailyActivity {
 	for d := 0; d < vclock.StudyDays; d++ {
 		out.Days[d] = vclock.FormatDay(vclock.DayStart(d))
 	}
-	for _, tl := range ds.TwitterTimelines {
-		for _, p := range tl.Posts {
-			if d := vclock.Day(p.Time); d >= 0 && d < vclock.StudyDays {
-				out.Tweets[d]++
-			}
-		}
-	}
-	for _, tl := range ds.MastodonTimelines {
-		for _, p := range tl.Posts {
-			if d := vclock.Day(p.Time); d >= 0 && d < vclock.StudyDays {
-				out.Statuses[d]++
-			}
-		}
-	}
+	twIDs := sortedKeys(ds.TwitterTimelines)
+	msIDs := sortedKeys(ds.MastodonTimelines)
+	tweets := countTimelineDays(e.Workers, len(twIDs), func(i int) []crawler.Post {
+		return ds.TwitterTimelines[twIDs[i]].Posts
+	})
+	statuses := countTimelineDays(e.Workers, len(msIDs), func(i int) []crawler.Post {
+		return ds.MastodonTimelines[msIDs[i]].Posts
+	})
+	copy(out.Tweets, tweets[:])
+	copy(out.Statuses, statuses[:])
 	return out
 }
 
@@ -84,45 +113,92 @@ type Sources struct {
 	DailyCrossposterUsers []int
 }
 
+// sourcesPartial is the per-shard accumulator of the source scan: counts
+// and user sets only, merged by addition and union (commutative).
+type sourcesPartial struct {
+	counts            map[string]*SourceCount
+	crossUsers        map[string]bool
+	dailyUsers        []map[string]bool
+	usersWithTimeline int
+}
+
 // RQ3Sources computes the tweet-source results.
-func RQ3Sources(ds *crawler.Dataset) *Sources {
+func (e Engine) RQ3Sources(ds *crawler.Dataset) *Sources {
 	out := &Sources{
 		CrossposterGrowth:     map[string]float64{},
 		DailyCrossposterUsers: make([]int, vclock.StudyDays),
 	}
-	counts := map[string]*SourceCount{}
-	crossUsers := map[string]bool{}
-	dailyUsers := make([]map[string]bool, vclock.StudyDays)
-	for d := range dailyUsers {
-		dailyUsers[d] = map[string]bool{}
-	}
-	usersWithTimeline := 0
-	for userID, tl := range ds.TwitterTimelines {
-		if tl.State != crawler.StateOK {
-			continue
-		}
-		usersWithTimeline++
-		for _, p := range tl.Posts {
-			c := counts[p.Source]
-			if c == nil {
-				c = &SourceCount{Name: p.Source}
-				counts[p.Source] = c
+	ids := sortedKeys(ds.TwitterTimelines)
+	agg := parallel.ReduceSharded(e.Workers, len(ids),
+		func(lo, hi int) sourcesPartial {
+			part := sourcesPartial{
+				counts:     map[string]*SourceCount{},
+				crossUsers: map[string]bool{},
+				dailyUsers: make([]map[string]bool, vclock.StudyDays),
 			}
-			if vclock.PostTakeover(p.Time) {
-				c.Post++
-			} else {
-				c.Pre++
-			}
-			if CrossposterSources[p.Source] {
-				crossUsers[userID] = true
-				if d := vclock.Day(p.Time); d >= 0 && d < vclock.StudyDays {
-					dailyUsers[d][userID] = true
+			for i := lo; i < hi; i++ {
+				userID := ids[i]
+				tl := ds.TwitterTimelines[userID]
+				if tl.State != crawler.StateOK {
+					continue
+				}
+				part.usersWithTimeline++
+				for _, p := range tl.Posts {
+					c := part.counts[p.Source]
+					if c == nil {
+						c = &SourceCount{Name: p.Source}
+						part.counts[p.Source] = c
+					}
+					if vclock.PostTakeover(p.Time) {
+						c.Post++
+					} else {
+						c.Pre++
+					}
+					if CrossposterSources[p.Source] {
+						part.crossUsers[userID] = true
+						if d := vclock.Day(p.Time); d >= 0 && d < vclock.StudyDays {
+							if part.dailyUsers[d] == nil {
+								part.dailyUsers[d] = map[string]bool{}
+							}
+							part.dailyUsers[d][userID] = true
+						}
+					}
 				}
 			}
-		}
+			return part
+		},
+		func(a, b sourcesPartial) sourcesPartial {
+			for name, c := range b.counts {
+				if ac := a.counts[name]; ac != nil {
+					ac.Pre += c.Pre
+					ac.Post += c.Post
+				} else {
+					a.counts[name] = c
+				}
+			}
+			for u := range b.crossUsers {
+				a.crossUsers[u] = true
+			}
+			for d, users := range b.dailyUsers {
+				if users == nil {
+					continue
+				}
+				if a.dailyUsers[d] == nil {
+					a.dailyUsers[d] = users
+					continue
+				}
+				for u := range users {
+					a.dailyUsers[d][u] = true
+				}
+			}
+			a.usersWithTimeline += b.usersWithTimeline
+			return a
+		})
+	if agg.counts == nil {
+		return out
 	}
-	rows := make([]SourceCount, 0, len(counts))
-	for _, c := range counts {
+	rows := make([]SourceCount, 0, len(agg.counts))
+	for _, c := range agg.counts {
 		rows = append(rows, *c)
 	}
 	sort.Slice(rows, func(i, j int) bool {
@@ -137,15 +213,15 @@ func RQ3Sources(ds *crawler.Dataset) *Sources {
 	}
 	out.Top30 = rows
 	for name := range CrossposterSources {
-		if c, ok := counts[name]; ok {
+		if c, ok := agg.counts[name]; ok {
 			out.CrossposterGrowth[name] = c.Growth()
 		}
 	}
-	if usersWithTimeline > 0 {
-		out.CrossposterUserFrac = float64(len(crossUsers)) / float64(usersWithTimeline)
+	if agg.usersWithTimeline > 0 {
+		out.CrossposterUserFrac = float64(len(agg.crossUsers)) / float64(agg.usersWithTimeline)
 	}
-	for d := range dailyUsers {
-		out.DailyCrossposterUsers[d] = len(dailyUsers[d])
+	for d, users := range agg.dailyUsers {
+		out.DailyCrossposterUsers[d] = len(users)
 	}
 	return out
 }
@@ -180,22 +256,22 @@ type OverlapOptions struct {
 	MaxUsers int
 }
 
-// RQ3Overlap computes cross-platform content similarity.
-func RQ3Overlap(ds *crawler.Dataset, opt OverlapOptions) *Overlap {
+// RQ3Overlap computes cross-platform content similarity. This is the
+// hot path of the whole analysis suite (quadratic text comparison per
+// user), so users fan out across workers; each user's index build and
+// scan stay serial inside its slot, and embeddings go through the
+// engine's shared cache when one is configured.
+func (e Engine) RQ3Overlap(ds *crawler.Dataset, opt OverlapOptions) *Overlap {
 	if opt.Threshold == 0 {
 		opt.Threshold = textsim.DefaultThreshold
 	}
 	out := &Overlap{}
-	var idFracs, simFracs []float64
-	different := 0
 
-	ids := make([]string, 0, len(ds.MastodonTimelines))
-	for id := range ds.MastodonTimelines {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		if opt.MaxUsers > 0 && out.UsersCompared >= opt.MaxUsers {
+	// Eligibility pass (cheap, serial) over sorted ids, respecting the
+	// MaxUsers cap exactly as the serial version did.
+	var eligible []string
+	for _, id := range sortedKeys(ds.MastodonTimelines) {
+		if opt.MaxUsers > 0 && len(eligible) >= opt.MaxUsers {
 			break
 		}
 		mtl := ds.MastodonTimelines[id]
@@ -206,15 +282,25 @@ func RQ3Overlap(ds *crawler.Dataset, opt OverlapOptions) *Overlap {
 		if len(mtl.Posts) == 0 || len(ttl.Posts) == 0 {
 			continue
 		}
-		out.UsersCompared++
+		eligible = append(eligible, id)
+	}
+	out.UsersCompared = len(eligible)
+
+	type userRow struct {
+		idFrac, simFrac float64
+		different       bool
+	}
+	slots := parallel.MapSlice(e.Workers, len(eligible), func(u int) userRow {
+		mtl := ds.MastodonTimelines[eligible[u]]
+		ttl := ds.TwitterTimelines[eligible[u]]
 		texts := make([]string, len(ttl.Posts))
 		for i, p := range ttl.Posts {
 			texts[i] = p.Text
 		}
-		idx := textsim.NewIndex(texts)
+		idx := textsim.NewIndexParallel(texts, 1, e.Cache)
 		identical, similar := 0, 0
 		for _, sp := range mtl.Posts {
-			best, sim := idx.BestMatch(textsim.Embed(sp.Text))
+			best, sim := idx.BestMatch(e.Cache.Embed(sp.Text))
 			if best < 0 {
 				continue
 			}
@@ -226,9 +312,19 @@ func RQ3Overlap(ds *crawler.Dataset, opt OverlapOptions) *Overlap {
 			}
 		}
 		n := float64(len(mtl.Posts))
-		idFracs = append(idFracs, float64(identical)/n)
-		simFracs = append(simFracs, float64(identical+similar)/n)
-		if float64(identical+similar)/n < DifferentFloor {
+		return userRow{
+			idFrac:    float64(identical) / n,
+			simFrac:   float64(identical+similar) / n,
+			different: float64(identical+similar)/n < DifferentFloor,
+		}
+	})
+	idFracs := make([]float64, len(slots))
+	simFracs := make([]float64, len(slots))
+	different := 0
+	for i, r := range slots {
+		idFracs[i] = r.idFrac
+		simFracs[i] = r.simFrac
+		if r.different {
 			different++
 		}
 	}
@@ -248,24 +344,44 @@ type HashtagTables struct {
 	Mastodon []stats.FreqCount
 }
 
+// countHashtags tallies hashtags across the id-sorted timelines,
+// sharded across workers with a commutative map-addition merge;
+// posts(i) yields the i-th user's timeline in id-sorted order.
+func countHashtags(workers, n int, posts func(i int) []crawler.Post) map[string]int {
+	counts := parallel.ReduceSharded(workers, n,
+		func(lo, hi int) map[string]int {
+			m := map[string]int{}
+			for i := lo; i < hi; i++ {
+				for _, p := range posts(i) {
+					for _, h := range textkit.Hashtags(p.Text) {
+						m[h]++
+					}
+				}
+			}
+			return m
+		},
+		func(a, b map[string]int) map[string]int {
+			for h, n := range b {
+				a[h] += n
+			}
+			return a
+		})
+	if counts == nil {
+		counts = map[string]int{}
+	}
+	return counts
+}
+
 // RQ3Hashtags extracts the top-30 hashtags per platform.
-func RQ3Hashtags(ds *crawler.Dataset) *HashtagTables {
-	tw := map[string]int{}
-	ms := map[string]int{}
-	for _, tl := range ds.TwitterTimelines {
-		for _, p := range tl.Posts {
-			for _, h := range textkit.Hashtags(p.Text) {
-				tw[h]++
-			}
-		}
-	}
-	for _, tl := range ds.MastodonTimelines {
-		for _, p := range tl.Posts {
-			for _, h := range textkit.Hashtags(p.Text) {
-				ms[h]++
-			}
-		}
-	}
+func (e Engine) RQ3Hashtags(ds *crawler.Dataset) *HashtagTables {
+	twIDs := sortedKeys(ds.TwitterTimelines)
+	msIDs := sortedKeys(ds.MastodonTimelines)
+	tw := countHashtags(e.Workers, len(twIDs), func(i int) []crawler.Post {
+		return ds.TwitterTimelines[twIDs[i]].Posts
+	})
+	ms := countHashtags(e.Workers, len(msIDs), func(i int) []crawler.Post {
+		return ds.MastodonTimelines[msIDs[i]].Posts
+	})
 	return &HashtagTables{
 		Twitter:  stats.TopK(tw, 30),
 		Mastodon: stats.TopK(ms, 30),
@@ -296,20 +412,17 @@ type ToxicityOptions struct {
 	// variant some prior work uses).
 	Threshold float64
 	// ScoreFn scores posts whose crawl-time Toxicity is missing (<0).
-	// nil skips unscored posts.
+	// nil skips unscored posts. Must be safe for concurrent use — the
+	// per-user scoring loop fans out across workers.
 	ScoreFn func(text string) float64
 }
 
 // RQ3Toxicity computes toxicity prevalence on both platforms.
-func RQ3Toxicity(ds *crawler.Dataset, opt ToxicityOptions) *ToxicityResult {
+func (e Engine) RQ3Toxicity(ds *crawler.Dataset, opt ToxicityOptions) *ToxicityResult {
 	if opt.Threshold == 0 {
 		opt.Threshold = 0.5
 	}
 	out := &ToxicityResult{}
-	var userTweetFracs, userStatusFracs []float64
-	var totalTweets, toxicTweets, totalStatuses, toxicStatuses int
-	both := 0
-	users := 0
 
 	score := func(p *crawler.Post) (float64, bool) {
 		if p.Toxicity >= 0 {
@@ -321,52 +434,58 @@ func RQ3Toxicity(ds *crawler.Dataset, opt ToxicityOptions) *ToxicityResult {
 		return 0, false
 	}
 
-	ids := make([]string, 0, len(ds.TwitterTimelines))
-	for id := range ds.TwitterTimelines {
-		ids = append(ids, id)
+	ids := sortedKeys(ds.TwitterTimelines)
+	type userRow struct {
+		tTox, tAll, sTox, sAll int
 	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		ttl := ds.TwitterTimelines[id]
-		mtl := ds.MastodonTimelines[id]
-		var tTox, tAll, sTox, sAll int
+	slots := parallel.MapSlice(e.Workers, len(ids), func(i int) userRow {
+		ttl := ds.TwitterTimelines[ids[i]]
+		mtl := ds.MastodonTimelines[ids[i]]
+		var r userRow
 		if ttl != nil && ttl.State == crawler.StateOK {
-			for i := range ttl.Posts {
-				v, ok := score(&ttl.Posts[i])
+			for j := range ttl.Posts {
+				v, ok := score(&ttl.Posts[j])
 				if !ok {
 					continue
 				}
-				tAll++
+				r.tAll++
 				if v > opt.Threshold {
-					tTox++
+					r.tTox++
 				}
 			}
 		}
 		if mtl != nil && mtl.State == crawler.StateOK {
-			for i := range mtl.Posts {
-				v, ok := score(&mtl.Posts[i])
+			for j := range mtl.Posts {
+				v, ok := score(&mtl.Posts[j])
 				if !ok {
 					continue
 				}
-				sAll++
+				r.sAll++
 				if v > opt.Threshold {
-					sTox++
+					r.sTox++
 				}
 			}
 		}
-		totalTweets += tAll
-		toxicTweets += tTox
-		totalStatuses += sAll
-		toxicStatuses += sTox
-		if tAll > 0 {
-			userTweetFracs = append(userTweetFracs, float64(tTox)/float64(tAll))
+		return r
+	})
+	var userTweetFracs, userStatusFracs []float64
+	var totalTweets, toxicTweets, totalStatuses, toxicStatuses int
+	both := 0
+	users := 0
+	for _, r := range slots {
+		totalTweets += r.tAll
+		toxicTweets += r.tTox
+		totalStatuses += r.sAll
+		toxicStatuses += r.sTox
+		if r.tAll > 0 {
+			userTweetFracs = append(userTweetFracs, float64(r.tTox)/float64(r.tAll))
 		}
-		if sAll > 0 {
-			userStatusFracs = append(userStatusFracs, float64(sTox)/float64(sAll))
+		if r.sAll > 0 {
+			userStatusFracs = append(userStatusFracs, float64(r.sTox)/float64(r.sAll))
 		}
-		if tAll > 0 || sAll > 0 {
+		if r.tAll > 0 || r.sAll > 0 {
 			users++
-			if tTox > 0 && sTox > 0 {
+			if r.tTox > 0 && r.sTox > 0 {
 				both++
 			}
 		}
@@ -397,7 +516,7 @@ type CollectionSeries struct {
 }
 
 // CollectionFigure computes Fig. 2 from the collection corpus.
-func CollectionFigure(ds *crawler.Dataset) *CollectionSeries {
+func (e Engine) CollectionFigure(ds *crawler.Dataset) *CollectionSeries {
 	out := &CollectionSeries{
 		Days:          make([]string, vclock.StudyDays),
 		InstanceLinks: make([]int, vclock.StudyDays),
@@ -406,16 +525,32 @@ func CollectionFigure(ds *crawler.Dataset) *CollectionSeries {
 	for d := 0; d < vclock.StudyDays; d++ {
 		out.Days[d] = vclock.FormatDay(vclock.DayStart(d))
 	}
-	for _, ct := range ds.CollectedTweets {
-		d := vclock.Day(ct.Time)
-		if d < 0 || d >= vclock.StudyDays {
-			continue
-		}
-		if ct.Class == crawler.ClassInstanceLink {
-			out.InstanceLinks[d]++
-		} else {
-			out.Keywords[d]++
-		}
+	type pair struct{ links, keywords dayCounts }
+	agg := parallel.ReduceSharded(e.Workers, len(ds.CollectedTweets),
+		func(lo, hi int) *pair {
+			var p pair
+			for i := lo; i < hi; i++ {
+				ct := &ds.CollectedTweets[i]
+				d := vclock.Day(ct.Time)
+				if d < 0 || d >= vclock.StudyDays {
+					continue
+				}
+				if ct.Class == crawler.ClassInstanceLink {
+					p.links[d]++
+				} else {
+					p.keywords[d]++
+				}
+			}
+			return &p
+		},
+		func(a, b *pair) *pair {
+			a.links.add(&b.links)
+			a.keywords.add(&b.keywords)
+			return a
+		})
+	if agg != nil {
+		copy(out.InstanceLinks, agg.links[:])
+		copy(out.Keywords, agg.keywords[:])
 	}
 	return out
 }
@@ -429,8 +564,9 @@ type ActivitySeries struct {
 	Statuses      []int
 }
 
-// ActivityFigure aggregates the per-instance weekly activity crawl.
-func ActivityFigure(ds *crawler.Dataset) *ActivitySeries {
+// ActivityFigure aggregates the per-instance weekly activity crawl. The
+// input is small (one row per instance-week), so this stays serial.
+func (e Engine) ActivityFigure(ds *crawler.Dataset) *ActivitySeries {
 	agg := map[string]*[3]int{}
 	var weeks []string
 	for _, series := range ds.Activity {

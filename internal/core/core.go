@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"time"
 
 	"flock/internal/analysis"
 	"flock/internal/birdsite"
@@ -25,6 +26,8 @@ import (
 	"flock/internal/httpkit"
 	"flock/internal/indexsvc"
 	"flock/internal/memnet"
+	"flock/internal/parallel"
+	"flock/internal/textsim"
 	"flock/internal/toxsvc"
 	"flock/internal/world"
 )
@@ -46,6 +49,10 @@ type Config struct {
 	// OverlapMaxUsers caps the (quadratic) Fig. 14 comparison
 	// (0 = all users).
 	OverlapMaxUsers int
+	// AnalysisWorkers bounds the analysis engine's worker pool
+	// (<= 0: GOMAXPROCS). Results are byte-identical at any setting; the
+	// knob only trades wall-clock for cores.
+	AnalysisWorkers int
 	// Logf receives progress lines (nil = silent).
 	Logf func(format string, args ...any)
 	// Hedge enables tail-latency hedging on the crawl's shared HTTP
@@ -176,22 +183,36 @@ func Analyze(ds *crawler.Dataset, cfg Config) *Result {
 		// locally with the same model the service uses.
 		scoreFn = toxsvc.Score
 	}
-	return &Result{
-		Dataset:    ds,
-		Coverage:   ds.Coverage(),
-		RQ1:        analysis.RQ1(ds),
-		Networks:   analysis.SocialNetworkSizes(ds),
-		Contagion:  analysis.RQ2Contagion(ds),
-		Switching:  analysis.RQ2Switching(ds),
-		Daily:      analysis.Timelines(ds),
-		Sources:    analysis.RQ3Sources(ds),
-		Overlap:    analysis.RQ3Overlap(ds, analysis.OverlapOptions{MaxUsers: cfg.OverlapMaxUsers}),
-		Hashtags:   analysis.RQ3Hashtags(ds),
-		Toxicity:   analysis.RQ3Toxicity(ds, analysis.ToxicityOptions{ScoreFn: scoreFn}),
-		Collection: analysis.CollectionFigure(ds),
-		Activity:   analysis.ActivityFigure(ds),
-		Retention:  analysis.RQ4Retention(ds),
+	// One engine (and one embedding cache) across all analyses: the
+	// Fig. 14 texts recur between passes, so the cache pays off here.
+	eng := analysis.Engine{Workers: cfg.AnalysisWorkers, Cache: textsim.NewCache()}
+	res := &Result{Dataset: ds, Coverage: ds.Coverage()}
+	// Each pass runs under a timer so cfg.Logf (cmd/figures -workers)
+	// can report where analysis wall-clock goes.
+	timed := func(name string, fn func()) {
+		start := time.Now()
+		fn()
+		if cfg.Logf != nil {
+			cfg.Logf("analysis %-10s %8s (workers=%d)", name, time.Since(start).Round(time.Microsecond), parallel.Workers(cfg.AnalysisWorkers))
+		}
 	}
+	timed("rq1", func() { res.RQ1 = eng.RQ1(ds) })
+	timed("networks", func() { res.Networks = eng.SocialNetworkSizes(ds) })
+	timed("contagion", func() { res.Contagion = eng.RQ2Contagion(ds) })
+	timed("switching", func() { res.Switching = eng.RQ2Switching(ds) })
+	timed("daily", func() { res.Daily = eng.Timelines(ds) })
+	timed("sources", func() { res.Sources = eng.RQ3Sources(ds) })
+	timed("overlap", func() {
+		res.Overlap = eng.RQ3Overlap(ds, analysis.OverlapOptions{MaxUsers: cfg.OverlapMaxUsers})
+	})
+	timed("hashtags", func() { res.Hashtags = eng.RQ3Hashtags(ds) })
+	timed("toxicity", func() {
+		res.Toxicity = eng.RQ3Toxicity(ds, analysis.ToxicityOptions{ScoreFn: scoreFn})
+	})
+	timed("collection", func() { res.Collection = eng.CollectionFigure(ds) })
+	timed("activity", func() { res.Activity = eng.ActivityFigure(ds) })
+	timed("retention", func() { res.Retention = eng.RQ4Retention(ds) })
+	return res
 }
 
 // Run executes the full pipeline: world, services, crawl, analyses.

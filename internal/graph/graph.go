@@ -15,17 +15,25 @@ import (
 	"math"
 	"sort"
 
+	"flock/internal/parallel"
 	"flock/internal/randx"
 )
 
 // Graph is a directed graph over nodes 0..N-1. Edge u->v means "u follows
 // v". Adjacency is kept both ways so follower and followee queries are
-// O(degree).
+// O(degree). After Compact, both directions live in CSR (compressed
+// sparse row) layout: one flat edge array per direction with per-node
+// offset views, so whole-graph scans walk contiguous memory instead of
+// chasing one heap allocation per node.
 type Graph struct {
 	n    int
-	out  [][]int32 // out[u] = sorted followees of u
-	in   [][]int32 // in[v] = sorted followers of v
+	out  [][]int32 // out[u] = sorted followees of u (view into csrOut when packed)
+	in   [][]int32 // in[v] = sorted followers of v (view into csrIn when packed)
 	outS []map[int32]struct{}
+	// csrOut/csrIn back the adjacency views after Compact; nil while the
+	// graph is still in per-node append mode.
+	csrOut []int32
+	csrIn  []int32
 }
 
 // New returns an empty graph with n nodes.
@@ -91,15 +99,95 @@ func (g *Graph) Edges() int {
 	return t
 }
 
-// SortAdjacency sorts all adjacency lists ascending, giving deterministic
-// iteration order independent of insertion order.
-func (g *Graph) SortAdjacency() {
-	for u := range g.out {
-		sort.Slice(g.out[u], func(i, j int) bool { return g.out[u][i] < g.out[u][j] })
+// SortAdjacency sorts all adjacency lists ascending and packs them into
+// CSR layout, giving deterministic iteration order independent of
+// insertion order. Equivalent to Compact(0).
+func (g *Graph) SortAdjacency() { g.Compact(0) }
+
+// Compact sorts every adjacency list ascending (fanning nodes out over
+// workers; <= 0 means GOMAXPROCS) and repacks both directions into CSR
+// layout. The per-node views keep their API: Followees/Followers return
+// slices as before, now aliasing the flat arrays. Views are capped at
+// their CSR segment, so a later AddEdge on a packed node reallocates
+// that node's list instead of clobbering its neighbor's segment. The
+// result is independent of the worker count: each node's list is sorted
+// in isolation and lands at an offset determined only by degrees.
+func (g *Graph) Compact(workers int) {
+	pack := func(adj [][]int32) []int32 {
+		total := 0
+		for _, l := range adj {
+			total += len(l)
+		}
+		flat := make([]int32, 0, total)
+		for u, l := range adj {
+			lo := len(flat)
+			flat = append(flat, l...)
+			adj[u] = flat[lo:len(flat):len(flat)]
+		}
+		return flat
 	}
-	for v := range g.in {
-		sort.Slice(g.in[v], func(i, j int) bool { return g.in[v][i] < g.in[v][j] })
+	g.csrOut = pack(g.out)
+	g.csrIn = pack(g.in)
+	parallel.ForEach(workers, g.n, func(u int) {
+		l := g.out[u]
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+		l = g.in[u]
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+	})
+}
+
+// Metrics summarizes the graph's structure; every field is an integer
+// count or a ratio of integer counts, so parallel computation is
+// trivially deterministic.
+type Metrics struct {
+	Nodes int
+	Edges int
+	// ReciprocalEdges counts ordered pairs (u,v) where both u->v and
+	// v->u exist (each mutual pair contributes 2).
+	ReciprocalEdges int
+	// Isolated counts nodes with neither followers nor followees.
+	Isolated     int
+	MaxOutDegree int
+	MaxInDegree  int
+	MeanOut      float64
+}
+
+// nodeMetric is the per-node slot of ComputeMetrics.
+type nodeMetric struct {
+	outDeg, inDeg, recip int
+}
+
+// ComputeMetrics scans every node's adjacency on a bounded worker pool
+// (<= 0: GOMAXPROCS) and folds the per-node slots serially in node
+// order, so the result is identical at any parallelism level.
+func (g *Graph) ComputeMetrics(workers int) Metrics {
+	slots := parallel.MapSlice(workers, g.n, func(u int) nodeMetric {
+		m := nodeMetric{outDeg: len(g.out[u]), inDeg: len(g.in[u])}
+		for _, v := range g.out[u] {
+			if g.HasEdge(int(v), u) {
+				m.recip++
+			}
+		}
+		return m
+	})
+	mt := Metrics{Nodes: g.n}
+	for _, m := range slots {
+		mt.Edges += m.outDeg
+		mt.ReciprocalEdges += m.recip
+		if m.outDeg == 0 && m.inDeg == 0 {
+			mt.Isolated++
+		}
+		if m.outDeg > mt.MaxOutDegree {
+			mt.MaxOutDegree = m.outDeg
+		}
+		if m.inDeg > mt.MaxInDegree {
+			mt.MaxInDegree = m.inDeg
+		}
 	}
+	if g.n > 0 {
+		mt.MeanOut = float64(mt.Edges) / float64(g.n)
+	}
+	return mt
 }
 
 // Config parameterizes the social graph generator.

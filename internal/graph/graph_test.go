@@ -212,3 +212,110 @@ func BenchmarkEgo(b *testing.B) {
 		g.Ego(i%g.N(), pred)
 	}
 }
+
+func TestCompactPreservesAdjacency(t *testing.T) {
+	g, _, err := Generate(Config{N: 200, Communities: 4, MeanOut: 10, IntraBias: 0.7, Reciprocity: 0.3}, randx.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate already compacted; rebuild an uncompacted twin to diff.
+	twin := New(g.N())
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Followees(u) {
+			twin.AddEdge(u, int(v))
+		}
+	}
+	for _, w := range []int{1, 2, 8} {
+		twin2 := New(g.N())
+		for u := 0; u < g.N(); u++ {
+			for _, v := range g.Followees(u) {
+				twin2.AddEdge(u, int(v))
+			}
+		}
+		twin2.Compact(w)
+		for u := 0; u < g.N(); u++ {
+			a, b := g.Followees(u), twin2.Followees(u)
+			if len(a) != len(b) {
+				t.Fatalf("workers=%d node %d followee count %d != %d", w, u, len(b), len(a))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("workers=%d node %d slot %d: %d != %d", w, u, i, b[i], a[i])
+				}
+			}
+			fa, fb := g.Followers(u), twin2.Followers(u)
+			if len(fa) != len(fb) {
+				t.Fatalf("workers=%d node %d follower count differs", w, u)
+			}
+			for i := range fa {
+				if fa[i] != fb[i] {
+					t.Fatalf("workers=%d node %d follower slot %d differs", w, u, i)
+				}
+			}
+		}
+	}
+}
+
+func TestAddEdgeAfterCompactDoesNotCorruptNeighbors(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.Compact(1)
+	before := append([]int32(nil), g.Followees(1)...)
+	// Appending to node 0's packed view must not overwrite node 1's
+	// segment in the shared flat array.
+	g.AddEdge(0, 3)
+	after := g.Followees(1)
+	if len(after) != len(before) {
+		t.Fatalf("node 1 adjacency length changed: %v -> %v", before, after)
+	}
+	for i := range before {
+		if after[i] != before[i] {
+			t.Fatalf("node 1 adjacency corrupted: %v -> %v", before, after)
+		}
+	}
+	if g.OutDegree(0) != 3 || !g.HasEdge(0, 3) {
+		t.Fatal("post-compact AddEdge lost")
+	}
+}
+
+func TestComputeMetricsDeterministicAcrossWorkers(t *testing.T) {
+	g, _, err := Generate(DefaultConfig(500), randx.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.ComputeMetrics(1)
+	if want.Edges != g.Edges() {
+		t.Fatalf("metrics edges %d != %d", want.Edges, g.Edges())
+	}
+	if want.ReciprocalEdges%2 != 0 {
+		t.Fatalf("reciprocal edge count must be even, got %d", want.ReciprocalEdges)
+	}
+	if want.ReciprocalEdges == 0 {
+		t.Fatal("generator with Reciprocity=0.25 produced no mutual edges")
+	}
+	for _, w := range []int{2, 4, 8} {
+		if got := g.ComputeMetrics(w); got != want {
+			t.Fatalf("workers=%d metrics %+v != %+v", w, got, want)
+		}
+	}
+}
+
+func TestComputeMetricsSmall(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.Compact(1)
+	m := g.ComputeMetrics(4)
+	if m.Edges != 2 || m.ReciprocalEdges != 2 || m.Isolated != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.MaxOutDegree != 1 || m.MaxInDegree != 1 {
+		t.Fatalf("degree maxima = %+v", m)
+	}
+	if empty := New(0).ComputeMetrics(4); empty.Nodes != 0 || empty.MeanOut != 0 {
+		t.Fatalf("empty metrics = %+v", empty)
+	}
+}

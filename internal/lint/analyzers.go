@@ -21,7 +21,7 @@ import (
 
 // Analyzers returns the full fedilint suite.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Walltime, SeededRand, RawHTTP, CtxFlow, AtomicFile}
+	return []*analysis.Analyzer{Walltime, SeededRand, RawHTTP, CtxFlow, AtomicFile, Goroutine}
 }
 
 // importedAs returns the identifier by which f refers to the import of

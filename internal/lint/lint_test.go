@@ -91,3 +91,11 @@ func TestAnalyzersListedOnce(t *testing.T) {
 		}
 	}
 }
+
+func TestGoroutine(t *testing.T) {
+	linttest.Run(t, fixtures, "goroutine/worker", lint.Goroutine)
+}
+
+func TestGoroutineExemptsConcurrencyPackages(t *testing.T) {
+	linttest.Run(t, fixtures, "goroutine/parallel", lint.Goroutine)
+}

@@ -1,0 +1,7 @@
+// Fixture: the "parallel" path segment is exempt — this package IS the
+// sanctioned home of naked go statements.
+package parallel
+
+func spawn(fn func()) {
+	go fn()
+}

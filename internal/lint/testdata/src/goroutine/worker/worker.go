@@ -1,0 +1,30 @@
+// Fixture: goroutine must catch naked go statements in ordinary
+// packages, honor //lint:allow, and leave test files alone.
+package worker
+
+import "sync"
+
+func fanOut(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() { // want `naked go statement outside the concurrency packages`
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func fireAndForget(ch chan int) {
+	go drain(ch) // want `naked go statement outside the concurrency packages`
+}
+
+func sanctioned(ch chan int) {
+	//lint:allow goroutine long-lived pump owned by the caller's lifecycle
+	go drain(ch)
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}

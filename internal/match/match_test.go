@@ -170,3 +170,49 @@ func BenchmarkExtract(b *testing.B) {
 		Extract(text, known)
 	}
 }
+
+func TestMapBatchMatchesSerial(t *testing.T) {
+	known := NewKnownInstances([]string{"mastodon.social", "fosstodon.org"})
+	accounts := make([]Account, 40)
+	for i := range accounts {
+		switch i % 4 {
+		case 0:
+			accounts[i] = Account{Profile: Profile{
+				Username:    "alice",
+				Description: "find me at @alice@mastodon.social",
+			}}
+		case 1:
+			accounts[i] = Account{
+				Profile: Profile{Username: "bob"},
+				Tweets:  []string{"moving: @bob@fosstodon.org"},
+			}
+		case 2:
+			// Tweet mentions someone else's handle: must not map.
+			accounts[i] = Account{
+				Profile: Profile{Username: "carol"},
+				Tweets:  []string{"follow @dave@mastodon.social"},
+			}
+		default:
+			accounts[i] = Account{Profile: Profile{Username: "erin"}}
+		}
+	}
+	want := make([]BatchResult, len(accounts))
+	for i, a := range accounts {
+		res, ok := Map(a.Profile, a.Tweets, known)
+		want[i] = BatchResult{Result: res, OK: ok}
+	}
+	for _, w := range []int{1, 2, 8} {
+		got := MapBatch(w, accounts, known)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d len=%d", w, len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d slot %d = %+v, want %+v", w, i, got[i], want[i])
+			}
+		}
+	}
+	if MapBatch(4, nil, known) != nil {
+		t.Fatal("empty batch should return nil")
+	}
+}

@@ -1,0 +1,25 @@
+package stats
+
+import "encoding/json"
+
+// MarshalJSON encodes the ECDF as its sorted sample array, giving a
+// stable byte representation: two ECDFs over the same multiset of
+// samples marshal identically regardless of input order. The analysis
+// determinism tests rely on this to compare whole reports byte-wise.
+func (e *ECDF) MarshalJSON() ([]byte, error) {
+	if e.sorted == nil {
+		return []byte("[]"), nil
+	}
+	return json.Marshal(e.sorted)
+}
+
+// UnmarshalJSON restores an ECDF marshalled by MarshalJSON. The decoded
+// samples are re-sorted, so hand-edited inputs stay valid.
+func (e *ECDF) UnmarshalJSON(b []byte) error {
+	var samples []float64
+	if err := json.Unmarshal(b, &samples); err != nil {
+		return err
+	}
+	*e = *NewECDF(samples)
+	return nil
+}

@@ -90,11 +90,11 @@ type Point struct {
 
 // Describe summarizes a sample.
 type Summary struct {
-	N              int
-	Mean, Median   float64
-	Min, Max       float64
-	P25, P75, P90  float64
-	StdDev         float64
+	N             int
+	Mean, Median  float64
+	Min, Max      float64
+	P25, P75, P90 float64
+	StdDev        float64
 }
 
 // Describe computes a Summary. An empty input returns the zero Summary.

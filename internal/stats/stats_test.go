@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"sort"
 	"testing"
@@ -403,5 +404,35 @@ func BenchmarkTopShare(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		TopShare(counts, 100)
+	}
+}
+
+func TestECDFJSONRoundTrip(t *testing.T) {
+	e := NewECDF([]float64{3, 1, 2, 2})
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "[1,2,2,3]" {
+		t.Fatalf("marshalled ECDF = %s", b)
+	}
+	// Same multiset, different input order: identical bytes.
+	b2, err := json.Marshal(NewECDF([]float64{2, 2, 3, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("order-dependent marshal: %s vs %s", b, b2)
+	}
+	var back ECDF
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 4 || back.Median() != 2 {
+		t.Fatalf("round-trip ECDF: n=%d median=%v", back.N(), back.Median())
+	}
+	var empty *ECDF = NewECDF(nil)
+	if b, _ := json.Marshal(empty); string(b) != "[]" {
+		t.Fatalf("empty ECDF = %s", b)
 	}
 }

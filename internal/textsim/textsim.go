@@ -18,7 +18,11 @@ package textsim
 import (
 	"math"
 	"strings"
+	"sync"
 	"unicode"
+	"unicode/utf8"
+
+	"flock/internal/parallel"
 )
 
 // Dim is the embedding dimensionality. 256 buckets keeps vectors small
@@ -33,45 +37,143 @@ const DefaultThreshold = 0.7
 // Vector is an embedding.
 type Vector [Dim]float32
 
+// span is one token's byte range inside a scratch buffer.
+type span struct{ lo, hi int32 }
+
+// scratch holds the tokenizer's reusable working set: all tokens of one
+// text, lowercased, packed back to back in buf with their spans. Pooled
+// so the Embed hot path performs no per-token allocations.
+type scratch struct {
+	buf   []byte
+	spans []span
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func (s *scratch) reset() {
+	s.buf = s.buf[:0]
+	s.spans = s.spans[:0]
+}
+
+// endToken closes the token started at byte offset start, dropping empty
+// tokens.
+func (s *scratch) endToken(start int) {
+	if len(s.buf) > start {
+		s.spans = append(s.spans, span{int32(start), int32(len(s.buf))})
+	}
+}
+
+// token returns the i-th token's bytes.
+func (s *scratch) token(i int) []byte {
+	sp := s.spans[i]
+	return s.buf[sp.lo:sp.hi]
+}
+
+// urlTrimSet is the trailing punctuation stripped from URL tokens.
+const urlTrimSet = ".,;:!?)"
+
+// hasPrefixFold reports whether s starts with prefix under ASCII case
+// folding (prefix must be lowercase ASCII).
+func hasPrefixFold(s, prefix string) bool {
+	if len(s) < len(prefix) {
+		return false
+	}
+	for i := 0; i < len(prefix); i++ {
+		c := s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// tokenize splits text into the scratch buffer: fields are lowercased
+// rune by rune; URLs are kept whole minus trailing punctuation; letters,
+// digits, '#', '@' and '\” continue a token, anything else ends it.
+func (s *scratch) tokenize(text string) {
+	s.reset()
+	field := func(f string) {
+		if hasPrefixFold(f, "http://") || hasPrefixFold(f, "https://") {
+			start := len(s.buf)
+			for _, r := range f {
+				s.buf = utf8.AppendRune(s.buf, unicode.ToLower(r))
+			}
+			for len(s.buf) > start && strings.IndexByte(urlTrimSet, s.buf[len(s.buf)-1]) >= 0 {
+				s.buf = s.buf[:len(s.buf)-1]
+			}
+			s.endToken(start)
+			return
+		}
+		start := len(s.buf)
+		for _, r := range f {
+			r = unicode.ToLower(r)
+			switch {
+			case unicode.IsLetter(r) || unicode.IsDigit(r):
+				s.buf = utf8.AppendRune(s.buf, r)
+			case r == '#' || r == '@' || r == '\'':
+				s.buf = utf8.AppendRune(s.buf, r)
+			default:
+				s.endToken(start)
+				start = len(s.buf)
+			}
+		}
+		s.endToken(start)
+	}
+	// Manual field walk: strings.Fields would allocate the field slice.
+	fieldStart := -1
+	for i, r := range text {
+		if unicode.IsSpace(r) {
+			if fieldStart >= 0 {
+				field(text[fieldStart:i])
+				fieldStart = -1
+			}
+		} else if fieldStart < 0 {
+			fieldStart = i
+		}
+	}
+	if fieldStart >= 0 {
+		field(text[fieldStart:])
+	}
+}
+
 // Tokenize lowercases text and splits it into word tokens, folding
 // punctuation. URLs are kept whole (cross-posters mirror links verbatim,
 // which is a strong identity signal); @mentions keep their handle; #tags
 // keep the tag.
 func Tokenize(text string) []string {
-	var tokens []string
-	var b strings.Builder
-	flush := func() {
-		if b.Len() > 0 {
-			tokens = append(tokens, b.String())
-			b.Reset()
-		}
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	sc.tokenize(text)
+	if len(sc.spans) == 0 {
+		return nil
 	}
-	for _, field := range strings.Fields(text) {
-		lf := strings.ToLower(field)
-		if strings.HasPrefix(lf, "http://") || strings.HasPrefix(lf, "https://") {
-			tokens = append(tokens, strings.TrimRight(lf, ".,;:!?)"))
-			continue
-		}
-		for _, r := range lf {
-			switch {
-			case unicode.IsLetter(r) || unicode.IsDigit(r):
-				b.WriteRune(r)
-			case r == '#' || r == '@' || r == '\'':
-				b.WriteRune(r)
-			default:
-				flush()
-			}
-		}
-		flush()
+	tokens := make([]string, len(sc.spans))
+	for i := range sc.spans {
+		tokens[i] = string(sc.token(i))
 	}
 	return tokens
 }
 
-// fnv1a hashes a string to a bucket.
-func fnv1a(s string) uint32 {
-	h := uint32(2166136261)
+// FNV-1a constants; features hash incrementally over their byte parts so
+// the hot path never materializes "u:"+tok style feature strings.
+const (
+	fnvOffset uint32 = 2166136261
+	fnvPrime  uint32 = 16777619
+)
+
+func fnvBytes(h uint32, s []byte) uint32 {
 	for i := 0; i < len(s); i++ {
-		h = (h ^ uint32(s[i])) * 16777619
+		h = (h ^ uint32(s[i])) * fnvPrime
+	}
+	return h
+}
+
+func fnvString(h uint32, s string) uint32 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * fnvPrime
 	}
 	return h
 }
@@ -86,23 +188,32 @@ func sign(h uint32) float32 {
 }
 
 // Embed converts text to its hashed n-gram embedding. The vector is L2
-// normalized; a text with no tokens yields the zero vector.
+// normalized; a text with no tokens yields the zero vector. The hot path
+// reuses pooled tokenizer scratch and hashes features incrementally, so
+// embedding allocates nothing beyond the returned value.
 func Embed(text string) Vector {
 	var v Vector
-	tokens := Tokenize(text)
-	add := func(feature string, weight float32) {
-		h := fnv1a(feature)
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	sc.tokenize(text)
+	add := func(h uint32, weight float32) {
 		v[h%Dim] += sign(h>>8) * weight
 	}
-	for i, tok := range tokens {
-		add("u:"+tok, 1)
-		if i+1 < len(tokens) {
-			add("b:"+tok+" "+tokens[i+1], 1.5)
+	n := len(sc.spans)
+	for i := 0; i < n; i++ {
+		tok := sc.token(i)
+		// Unigram: hash of "u:"+tok.
+		add(fnvBytes(fnvString(fnvOffset, "u:"), tok), 1)
+		// Bigram: hash of "b:"+tok+" "+next.
+		if i+1 < n {
+			h := fnvBytes(fnvString(fnvOffset, "b:"), tok)
+			h = (h ^ uint32(' ')) * fnvPrime
+			add(fnvBytes(h, sc.token(i+1)), 1.5)
 		}
-		// Character trigrams catch inflection and small edits.
+		// Character trigrams catch inflection and small edits: "c:"+tri.
 		if len(tok) >= 3 {
 			for j := 0; j+3 <= len(tok); j++ {
-				add("c:"+tok[j:j+3], 0.4)
+				add(fnvBytes(fnvString(fnvOffset, "c:"), tok[j:j+3]), 0.4)
 			}
 		}
 	}
@@ -117,6 +228,65 @@ func Embed(text string) Vector {
 		}
 	}
 	return v
+}
+
+// Cache is a concurrency-safe embedding memo keyed by canonicalized
+// text. Profiles and timelines repeat texts heavily across the RQ passes
+// (cross-posted content appears once per platform per analysis), so a
+// shared Cache turns the second and later embeddings of a text into a
+// map read. Canonicalization is safe as a key because it only strips
+// bytes the tokenizer ignores (surrounding whitespace, a trailing
+// truncation ellipsis), so Embed(text) == Embed(canonicalize(text)).
+//
+// A nil *Cache is valid and simply embeds without memoization, so code
+// paths can thread an optional cache unconditionally.
+type Cache struct {
+	mu sync.RWMutex
+	m  map[string]Vector
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[string]Vector)}
+}
+
+// Embed returns the embedding of text, computing and memoizing it on
+// first sight of its canonical form.
+func (c *Cache) Embed(text string) Vector {
+	if c == nil {
+		return Embed(text)
+	}
+	key := canonicalize(text)
+	c.mu.RLock()
+	v, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = Embed(key)
+	c.mu.Lock()
+	c.m[key] = v
+	c.mu.Unlock()
+	return v
+}
+
+// Len returns the number of cached embeddings.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// EmbedAll embeds every text on a bounded worker pool, result slots in
+// input order (deterministic regardless of scheduling; see
+// internal/parallel). cache may be nil.
+func EmbedAll(texts []string, workers int, cache *Cache) []Vector {
+	return parallel.MapSlice(workers, len(texts), func(i int) Vector {
+		return cache.Embed(texts[i])
+	})
 }
 
 // Cosine returns the cosine similarity of two embeddings in [-1, 1].
@@ -188,17 +358,25 @@ type Index struct {
 	Vectors []Vector
 }
 
-// NewIndex embeds all texts.
+// NewIndex embeds all texts serially.
 func NewIndex(texts []string) *Index {
+	return NewIndexParallel(texts, 1, nil)
+}
+
+// NewIndexParallel embeds all texts on a bounded worker pool, optionally
+// reading through a shared embedding cache. Output is identical to
+// NewIndex for any worker count.
+func NewIndexParallel(texts []string, workers int, cache *Cache) *Index {
 	idx := &Index{Texts: texts, Vectors: make([]Vector, len(texts))}
-	for i, t := range texts {
-		idx.Vectors[i] = Embed(t)
-	}
+	parallel.ForEach(workers, len(texts), func(i int) {
+		idx.Vectors[i] = cache.Embed(texts[i])
+	})
 	return idx
 }
 
 // BestMatch returns the index and cosine of the closest text to the
-// query embedding, or (-1, 0) on an empty index.
+// query embedding, or (-1, 0) on an empty index. Ties break to the
+// lowest index, deterministically.
 func (ix *Index) BestMatch(q Vector) (int, float64) {
 	best, bestSim := -1, math.Inf(-1)
 	for i, v := range ix.Vectors {
@@ -210,4 +388,38 @@ func (ix *Index) BestMatch(q Vector) (int, float64) {
 		return -1, 0
 	}
 	return best, bestSim
+}
+
+// BestMatchParallel shards the BestMatch scan over a bounded worker
+// pool. Shard boundaries depend only on the index size and partial
+// winners merge in ascending shard order with a strictly-greater
+// comparison, so the result — including lowest-index tie-breaking — is
+// bit-identical to the serial BestMatch at every worker count.
+func (ix *Index) BestMatchParallel(q Vector, workers int) (int, float64) {
+	if len(ix.Vectors) == 0 {
+		return -1, 0
+	}
+	type cand struct {
+		idx int
+		sim float64
+	}
+	best := parallel.ReduceSharded(workers, len(ix.Vectors),
+		func(lo, hi int) cand {
+			b := cand{idx: -1, sim: math.Inf(-1)}
+			for i := lo; i < hi; i++ {
+				if s := Cosine(q, ix.Vectors[i]); s > b.sim {
+					b = cand{idx: i, sim: s}
+				}
+			}
+			return b
+		},
+		func(a, b cand) cand {
+			// a is the lower shard: keeping it on ties preserves the
+			// lowest-index rule.
+			if b.sim > a.sim {
+				return b
+			}
+			return a
+		})
+	return best.idx, best.sim
 }

@@ -163,11 +163,148 @@ func TestDeterministicEmbedding(t *testing.T) {
 	}
 }
 
+func TestIndexSingleElement(t *testing.T) {
+	ix := NewIndex([]string{"only one post here"})
+	i, s := ix.BestMatch(Embed("only one post here"))
+	if i != 0 || math.Abs(s-1) > 1e-5 {
+		t.Fatalf("single-element match = %d, %v", i, s)
+	}
+	// Even a zero-vector query must land on index 0 (the only candidate).
+	if i, s := ix.BestMatch(Embed("")); i != 0 || s != 0 {
+		t.Fatalf("zero query against single element = %d, %v", i, s)
+	}
+}
+
+func TestIndexAllZeroVectors(t *testing.T) {
+	// Texts with no tokens embed to the zero vector; every cosine is 0
+	// and the lowest index must win.
+	ix := NewIndex([]string{"", "   ", "\t\n"})
+	i, s := ix.BestMatch(Embed("anything at all"))
+	if i != 0 || s != 0 {
+		t.Fatalf("all-zero index match = %d, %v", i, s)
+	}
+}
+
+func TestBestMatchTieBreaksLowestIndex(t *testing.T) {
+	// Duplicate texts give exactly equal cosines; the lowest index must
+	// be picked, and identically so by the sharded scan at every worker
+	// count.
+	texts := []string{
+		"completely unrelated filler words",
+		"announcing my move to mastodon today",
+		"announcing my move to mastodon today",
+		"announcing my move to mastodon today",
+	}
+	ix := NewIndex(texts)
+	q := Embed("announcing my move to mastodon today")
+	i, s := ix.BestMatch(q)
+	if i != 1 {
+		t.Fatalf("serial tie-break picked %d (sim %v)", i, s)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		pi, ps := ix.BestMatchParallel(q, w)
+		if pi != i || math.Float64bits(ps) != math.Float64bits(s) {
+			t.Fatalf("workers=%d parallel scan = (%d, %v), serial = (%d, %v)", w, pi, ps, i, s)
+		}
+	}
+}
+
+func TestBestMatchParallelMatchesSerial(t *testing.T) {
+	texts := make([]string, 300)
+	for i := range texts {
+		texts[i] = strings.Repeat("word ", i%17+1) + Tokenize("unique filler")[0]
+	}
+	ix := NewIndex(texts)
+	q := Embed("word word word unique")
+	si, ss := ix.BestMatch(q)
+	for _, w := range []int{1, 2, 3, 8} {
+		pi, ps := ix.BestMatchParallel(q, w)
+		if pi != si || math.Float64bits(ps) != math.Float64bits(ss) {
+			t.Fatalf("workers=%d: (%d, %v) != serial (%d, %v)", w, pi, ps, si, ss)
+		}
+	}
+	if i, s := (&Index{}).BestMatchParallel(q, 4); i != -1 || s != 0 {
+		t.Fatalf("empty parallel scan = %d, %v", i, s)
+	}
+}
+
+func TestCacheEmbedMatchesDirect(t *testing.T) {
+	c := NewCache()
+	texts := []string{
+		"Leaving the birdsite, find me at @a@mastodon.social",
+		"Leaving the birdsite, find me at @a@mastodon.social",    // repeat
+		"  Leaving the birdsite, find me at @a@mastodon.social…", // canonicalizes to the first
+		"something else entirely",
+		"",
+	}
+	for _, txt := range texts {
+		if got, want := c.Embed(txt), Embed(txt); got != want {
+			t.Fatalf("cache embedding differs for %q", txt)
+		}
+	}
+	// The first three share a canonical form; with the empty string and
+	// the distinct text that makes 3 entries.
+	if c.Len() != 3 {
+		t.Fatalf("cache size = %d, want 3", c.Len())
+	}
+	var nilCache *Cache
+	if got, want := nilCache.Embed("nil cache path"), Embed("nil cache path"); got != want {
+		t.Fatal("nil cache embedding differs")
+	}
+	if nilCache.Len() != 0 {
+		t.Fatal("nil cache length")
+	}
+}
+
+func TestEmbedAllMatchesSerial(t *testing.T) {
+	texts := []string{"one post", "two posts", "", "one post", "three posts about mastodon"}
+	want := make([]Vector, len(texts))
+	for i, txt := range texts {
+		want[i] = Embed(txt)
+	}
+	for _, w := range []int{1, 2, 8} {
+		for _, cache := range []*Cache{nil, NewCache()} {
+			got := EmbedAll(texts, w, cache)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d cache=%v slot %d differs", w, cache != nil, i)
+				}
+			}
+		}
+	}
+	if EmbedAll(nil, 4, nil) != nil {
+		t.Fatal("empty EmbedAll should return nil")
+	}
+}
+
+func TestNewIndexParallelMatchesSerial(t *testing.T) {
+	texts := []string{"alpha beta", "gamma delta", "epsilon"}
+	a := NewIndex(texts)
+	b := NewIndexParallel(texts, 4, NewCache())
+	for i := range a.Vectors {
+		if a.Vectors[i] != b.Vectors[i] {
+			t.Fatalf("vector %d differs", i)
+		}
+	}
+}
+
 func BenchmarkEmbed(b *testing.B) {
 	text := "Leaving Twitter after 12 years. You can find me at @user@mastodon.social — let's build the fediverse together! #TwitterMigration #Mastodon"
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Embed(text)
+	}
+}
+
+func BenchmarkEmbedCached(b *testing.B) {
+	text := "Leaving Twitter after 12 years. You can find me at @user@mastodon.social — let's build the fediverse together! #TwitterMigration #Mastodon"
+	c := NewCache()
+	c.Embed(text)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Embed(text)
 	}
 }
 
