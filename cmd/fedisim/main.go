@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -20,13 +22,17 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"sync"
 	"time"
 
 	"flock/internal/birdsite"
+	"flock/internal/crawler"
 	"flock/internal/fediverse"
+	"flock/internal/httpkit"
 	"flock/internal/indexsvc"
 	"flock/internal/randx"
+	"flock/internal/store"
 	"flock/internal/toxsvc"
 	"flock/internal/trendsvc"
 	"flock/internal/world"
@@ -68,6 +74,79 @@ func chaosMiddleware(seed uint64, pFail float64, maxDelay time.Duration, pTail f
 	})
 }
 
+// portTransport routes the crawler's virtual-host requests onto the
+// loopback ports fedisim serves: the core services by well-known host,
+// every fediverse instance to the shared Host-dispatched port. The
+// scheme drops to plain http and the virtual host survives in the Host
+// header, so handlers (and the breaker registry, keyed by URL host
+// before rewrite) see the same names the in-process pipeline uses.
+type portTransport struct {
+	base int
+	next http.RoundTripper
+}
+
+func (t portTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	port := t.base + 4
+	switch req.URL.Host {
+	case birdsite.Host:
+		port = t.base
+	case indexsvc.Host:
+		port = t.base + 1
+	case toxsvc.Host:
+		port = t.base + 2
+	}
+	out := req.Clone(req.Context())
+	out.Host = req.URL.Host
+	out.URL.Scheme = "http"
+	out.URL.Host = fmt.Sprintf("127.0.0.1:%d", port)
+	return t.next.RoundTrip(out)
+}
+
+// runCrawl drives the §3 pipeline against the served loopback ports.
+// With -checkpoint, an interrupt (^C) flushes progress — including the
+// health registry — and a rerun resumes, planning around hosts the
+// previous run quarantined.
+func runCrawl(base int, ckptPath string, healthTTL, cooldown time.Duration, noHealthResume bool) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	cfg := crawler.Config{
+		TwitterBase:     "https://" + birdsite.Host,
+		IndexBase:       "https://" + indexsvc.Host,
+		PerspectiveBase: "https://" + toxsvc.Host,
+		Transport: crawler.Transport{
+			HTTP:        httpkit.NewHTTPClient(portTransport{base: base, next: http.DefaultTransport}, 30*time.Second),
+			Concurrency: 8,
+			Breaker:     httpkit.BreakerPolicy{Probation: healthTTL, Cooldown: cooldown},
+		},
+		Logf:           log.Printf,
+		NoHealthResume: noHealthResume,
+	}
+	if ckptPath != "" {
+		cfg.Checkpoint = store.NewFileCheckpoint(ckptPath)
+	}
+	c := crawler.New(cfg)
+	ds, err := c.Run(ctx)
+	rep := c.Report()
+	log.Print(rep.Summary())
+	hosts := make([]string, 0, len(rep.SkippedQuarantined))
+	for h := range rep.SkippedQuarantined {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for _, h := range hosts {
+		log.Printf("skipped quarantined %s: %s", h, rep.SkippedQuarantined[h])
+	}
+	if err != nil {
+		if ckptPath != "" && errors.Is(err, context.Canceled) {
+			log.Printf("crawl interrupted; rerun with -crawl -checkpoint %s to resume", ckptPath)
+			return
+		}
+		log.Fatalf("crawl: %v", err)
+	}
+	cov := ds.Coverage()
+	log.Printf("crawl done: %+v", cov)
+}
+
 func main() {
 	migrants := flag.Int("migrants", 500, "approximate number of migrated users to simulate")
 	seed := flag.Uint64("seed", 1, "world seed")
@@ -77,6 +156,11 @@ func main() {
 	chaosDelay := flag.Duration("chaos-delay", 50*time.Millisecond, "max injected per-request latency when -chaos is set")
 	chaosTail := flag.Float64("chaos-tail", 0, "per-request probability of a hard tail-latency stall when -chaos is set (0 = off)")
 	chaosTailDelay := flag.Duration("chaos-tail-delay", 250*time.Millisecond, "stall duration for -chaos-tail requests")
+	crawlMode := flag.Bool("crawl", false, "run the §3 crawl pipeline against the served ports, then exit")
+	ckptPath := flag.String("checkpoint", "", "crawl checkpoint file; with -crawl, an interrupted run resumes from it")
+	healthTTL := flag.Duration("health-ttl", time.Hour, "quarantine probation: how long a checkpointed dead host stays skipped before being probed again")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "crawl breaker cooldown before a half-open probe (0 = httpkit default; short values let quarantine form quickly under -chaos)")
+	noHealthResume := flag.Bool("no-health-resume", false, "discard the checkpoint's health snapshot on resume and re-learn host health from scratch")
 	flag.Parse()
 
 	cfg := world.DefaultConfig(*migrants)
@@ -114,6 +198,11 @@ func main() {
 	}
 	serve(*base+4, "fediverse", fediHandler)
 	log.Printf("fediverse hosts: e.g. curl -H 'Host: mastodon.social' http://127.0.0.1:%d/api/v1/instance", *base+4)
+
+	if *crawlMode {
+		runCrawl(*base, *ckptPath, *healthTTL, *breakerCooldown, *noHealthResume)
+		return
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)

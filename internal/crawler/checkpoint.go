@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +9,15 @@ import (
 
 	"flock/internal/httpkit"
 )
+
+// ProgressVersion is the checkpoint schema version Save stamps.
+//
+// v1 files predate the Version field (they decode as 0) and carry no
+// health snapshot; they still load cleanly and resume with an empty
+// registry. v2 adds the persisted per-host health registry. Decoders
+// refuse versions newer than this constant rather than silently
+// dropping fields they do not understand.
+const ProgressVersion = 2
 
 // The §3 pipeline's phases, in execution order. Progress.Phase holds the
 // highest phase that has fully completed, so a resumed crawl re-enters
@@ -36,8 +46,16 @@ type SeenTweet struct {
 // a resumed Crawler.Run skip finished work. The zero value (via
 // newProgress) is a fresh crawl.
 type Progress struct {
+	// Version is the checkpoint schema version this progress was saved
+	// under (see ProgressVersion); zero for v1 files.
+	Version int `json:"version,omitempty"`
 	// Phase is the highest fully completed phase.
 	Phase int `json:"phase"`
+	// Health is the persisted per-host health registry snapshot (schema
+	// v2): breaker positions, quarantine ages and the error taxonomy
+	// survive the run, so a resumed crawl plans around known-dead hosts
+	// instead of re-learning them dial by dial.
+	Health []httpkit.HostHealth `json:"health,omitempty"`
 	// Dataset accumulates crawl output across phases.
 	Dataset *Dataset `json:"dataset"`
 	// SeenTweets is the phase-2 dedup accumulator, keyed by tweet ID;
@@ -55,9 +73,28 @@ type Progress struct {
 }
 
 func newProgress() *Progress {
-	p := &Progress{Dataset: NewDataset()}
+	p := &Progress{Version: ProgressVersion, Dataset: NewDataset()}
 	p.normalize()
 	return p
+}
+
+// Clone deep-copies the progress through its JSON form — the same
+// round trip FileCheckpoint performs — so every Checkpoint
+// implementation hands out isolated snapshots with identical
+// serialization semantics. A nil progress clones to nil.
+func (p *Progress) Clone() (*Progress, error) {
+	if p == nil {
+		return nil, nil
+	}
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return nil, fmt.Errorf("crawler: clone progress: %w", err)
+	}
+	out := &Progress{}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return nil, fmt.Errorf("crawler: clone progress: %w", err)
+	}
+	return out, nil
 }
 
 // normalize re-initializes nil maps (JSON round-trips drop empties).
@@ -108,25 +145,32 @@ type Checkpoint interface {
 }
 
 // MemCheckpoint is an in-memory Checkpoint for tests and single-process
-// pipelines. The zero value is ready to use.
+// pipelines. The zero value is ready to use. Save and Load both deep-copy
+// the progress, matching FileCheckpoint's serialize semantics: the stored
+// snapshot is frozen at Save time, not a live alias of the tracker's
+// still-mutating *Progress.
 type MemCheckpoint struct {
 	mu    sync.Mutex
 	data  *Progress
 	saves int
 }
 
-// Load returns the last saved progress (nil when never saved).
+// Load returns a copy of the last saved progress (nil when never saved).
 func (m *MemCheckpoint) Load() (*Progress, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.data, nil
+	return m.data.Clone()
 }
 
-// Save stores the progress snapshot.
+// Save stores a snapshot of the progress.
 func (m *MemCheckpoint) Save(p *Progress) error {
+	cp, err := p.Clone()
+	if err != nil {
+		return err
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.data = p
+	m.data = cp
 	m.saves++
 	return nil
 }
@@ -147,6 +191,16 @@ type tracker struct {
 	every   int
 	pending int
 	prog    *Progress
+	health  *httpkit.HealthRegistry // nil: no health persistence
+}
+
+// snapshotHealth refreshes the progress's registry snapshot so every
+// saved checkpoint carries the breaker/quarantine state current at save
+// time. Caller holds t.mu.
+func (t *tracker) snapshotHealth() {
+	if t.health != nil {
+		t.prog.Health = t.health.Export()
+	}
 }
 
 // update applies fn to the progress under the tracker lock and counts one
@@ -162,6 +216,7 @@ func (t *tracker) update(fn func(*Progress)) {
 	if t.pending >= t.every {
 		// Best effort mid-phase; a failure here is retried by the next
 		// periodic save and surfaced by the phase-boundary flush.
+		t.snapshotHealth()
 		if err := t.ckpt.Save(t.prog); err == nil {
 			t.pending = 0
 		}
@@ -175,6 +230,7 @@ func (t *tracker) flush() error {
 	if t.ckpt == nil {
 		return nil
 	}
+	t.snapshotHealth()
 	if err := t.ckpt.Save(t.prog); err != nil {
 		return fmt.Errorf("crawler: checkpoint save: %w", err)
 	}
@@ -206,6 +262,12 @@ type CrawlReport struct {
 	// ActivityGaps lists instance domains dropped from the activity
 	// crawl.
 	ActivityGaps map[string]string
+	// SkippedQuarantined lists hosts the planner refused to schedule
+	// because the (possibly resumed) health registry had them
+	// quarantined, mapped to a short account of what was skipped. Units
+	// on these hosts also appear in the per-phase gap maps above; this
+	// map is the host-level rollup.
+	SkippedQuarantined map[string]string
 	// HTTPStats is the shared client's counter snapshot: requests,
 	// retries, hedges fired/won/denied, breaker short-circuits.
 	HTTPStats httpkit.Stats
@@ -244,8 +306,8 @@ func (r *CrawlReport) Summary() string {
 		}
 	}
 	return fmt.Sprintf(
-		"crawl report: resumed=%v hosts=%d open=%d quarantined=%d gaps=%d (queries=%d authors=%d twitterTL=%d mastoTL=%d followees=%d activity=%d)",
-		r.Resumed, len(r.Hosts), open, quarantined, r.GapCount(),
+		"crawl report: resumed=%v hosts=%d open=%d quarantined=%d skipped=%d gaps=%d (queries=%d authors=%d twitterTL=%d mastoTL=%d followees=%d activity=%d)",
+		r.Resumed, len(r.Hosts), open, quarantined, len(r.SkippedQuarantined), r.GapCount(),
 		len(r.FailedQueries), len(r.DroppedAuthors),
 		len(r.TwitterTimelineFailures), len(r.MastodonTimelineFailures),
 		len(r.FolloweeGaps), len(r.ActivityGaps))
@@ -254,30 +316,39 @@ func (r *CrawlReport) Summary() string {
 // report accumulates gap records during a run; Crawler.Report snapshots
 // it.
 type reportState struct {
-	mu                sync.Mutex
-	resumed           bool
-	failedQueries     map[string]string
-	droppedAuthors    map[string]string
-	twitterTLFailures map[string]string
-	mastoTLFailures   map[string]string
-	followeeGaps      map[string]string
-	activityGaps      map[string]string
+	mu                 sync.Mutex
+	resumed            bool
+	failedQueries      map[string]string
+	droppedAuthors     map[string]string
+	twitterTLFailures  map[string]string
+	mastoTLFailures    map[string]string
+	followeeGaps       map[string]string
+	activityGaps       map[string]string
+	skippedQuarantined map[string]int // host -> work units skipped
 }
 
 func newReportState() *reportState {
 	return &reportState{
-		failedQueries:     map[string]string{},
-		droppedAuthors:    map[string]string{},
-		twitterTLFailures: map[string]string{},
-		mastoTLFailures:   map[string]string{},
-		followeeGaps:      map[string]string{},
-		activityGaps:      map[string]string{},
+		failedQueries:      map[string]string{},
+		droppedAuthors:     map[string]string{},
+		twitterTLFailures:  map[string]string{},
+		mastoTLFailures:    map[string]string{},
+		followeeGaps:       map[string]string{},
+		activityGaps:       map[string]string{},
+		skippedQuarantined: map[string]int{},
 	}
 }
 
 func (r *reportState) note(m map[string]string, key string, err error) {
 	r.mu.Lock()
 	m[key] = err.Error()
+	r.mu.Unlock()
+}
+
+// noteSkip counts one planner-skipped work unit against host.
+func (r *reportState) noteSkip(host string) {
+	r.mu.Lock()
+	r.skippedQuarantined[host]++
 	r.mu.Unlock()
 }
 
@@ -303,8 +374,19 @@ func (c *Crawler) Report() *CrawlReport {
 		MastodonTimelineFailures: cp(c.rep.mastoTLFailures),
 		FolloweeGaps:             cp(c.rep.followeeGaps),
 		ActivityGaps:             cp(c.rep.activityGaps),
+		SkippedQuarantined:       map[string]string{},
 		HTTPStats:                c.client.Stats(),
 		HostLimits:               c.lim.Limits(),
+	}
+	for host, units := range c.rep.skippedQuarantined {
+		opens := 0
+		for _, h := range rep.Hosts {
+			if h.Host == host {
+				opens = h.Opens
+				break
+			}
+		}
+		rep.SkippedQuarantined[host] = fmt.Sprintf("quarantined after %d breaker opens; %d work units skipped", opens, units)
 	}
 	sort.Slice(rep.Hosts, func(i, j int) bool { return rep.Hosts[i].Host < rep.Hosts[j].Host })
 	return rep
@@ -312,7 +394,7 @@ func (c *Crawler) Report() *CrawlReport {
 
 // begin loads (or starts) progress and builds the run's tracker.
 func (c *Crawler) begin() (*tracker, error) {
-	t := &tracker{ckpt: c.cfg.Checkpoint, every: c.cfg.CheckpointEvery}
+	t := &tracker{ckpt: c.cfg.Checkpoint, every: c.cfg.CheckpointEvery, health: c.health}
 	if t.every <= 0 {
 		t.every = 32
 	}
@@ -322,7 +404,17 @@ func (c *Crawler) begin() (*tracker, error) {
 			return nil, fmt.Errorf("crawler: checkpoint load: %w", err)
 		}
 		if prog != nil {
+			if prog.Version > ProgressVersion {
+				return nil, fmt.Errorf("crawler: checkpoint schema v%d is newer than supported v%d", prog.Version, ProgressVersion)
+			}
 			prog.normalize()
+			// Seed the registry with the persisted health snapshot so the
+			// planner skips hosts quarantined before the kill. v1 files
+			// carry no snapshot and resume with an empty registry.
+			if !c.cfg.NoHealthResume && len(prog.Health) > 0 {
+				c.health.ImportHealth(prog.Health)
+			}
+			prog.Version = ProgressVersion
 			t.prog = prog
 			c.rep.mu.Lock()
 			c.rep.resumed = true

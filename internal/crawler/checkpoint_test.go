@@ -1,0 +1,95 @@
+package crawler
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMemCheckpointSnapshotsProgress is the aliasing regression test:
+// Save must freeze the progress at save time (FileCheckpoint serialize
+// semantics), not retain the caller's live pointer.
+func TestMemCheckpointSnapshotsProgress(t *testing.T) {
+	ck := &MemCheckpoint{}
+	prog := newProgress()
+	prog.Phase = phaseTweets
+	prog.DoneQueries["mastodon"] = true
+	if err := ck.Save(prog); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate the original after the save, as the tracker does between
+	// periodic saves.
+	prog.Phase = phaseActivity
+	prog.DoneQueries["#RIPTwitter"] = true
+	prog.Dataset.Pairs = append(prog.Dataset.Pairs, AccountPair{TwitterID: "late"})
+
+	got, err := ck.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Phase != phaseTweets {
+		t.Fatalf("saved snapshot phase = %d, want %d (live alias of caller's progress?)", got.Phase, phaseTweets)
+	}
+	if len(got.DoneQueries) != 1 || !got.DoneQueries["mastodon"] {
+		t.Fatalf("saved snapshot queries = %v, want only the pre-save entry", got.DoneQueries)
+	}
+	if len(got.Dataset.Pairs) != 0 {
+		t.Fatalf("post-save pair leaked into snapshot: %+v", got.Dataset.Pairs)
+	}
+
+	// Loads hand out isolated copies too: mutating one must not bleed
+	// into the stored snapshot or other loads.
+	got.DoneQueries["tampered"] = true
+	again, err := ck.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.DoneQueries["tampered"] {
+		t.Fatal("Load returned a shared copy; mutation bled across loads")
+	}
+}
+
+// TestMemCheckpointConcurrentSaveLoad exercises the aliasing bug's race
+// form under -race: a writer mutating its progress between saves while a
+// reader walks loaded snapshots. With live-alias semantics this is a
+// data race on the maps; with snapshot semantics it is clean.
+func TestMemCheckpointConcurrentSaveLoad(t *testing.T) {
+	ck := &MemCheckpoint{}
+	prog := newProgress()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			prog.DoneQueries[string(rune('a'+i%26))] = true
+			prog.Phase = i % phaseToxicity
+			if err := ck.Save(prog); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			got, err := ck.Load()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if got == nil {
+				continue
+			}
+			n := 0
+			for q := range got.DoneQueries {
+				_ = q
+				n++
+			}
+			if n > 26 {
+				t.Errorf("impossible query count %d", n)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

@@ -88,6 +88,10 @@ type Config struct {
 	// periodic mid-phase saves (default 32). Phase boundaries always
 	// save.
 	CheckpointEvery int
+	// NoHealthResume discards the checkpoint's persisted health snapshot
+	// on resume: the run re-learns host health from scratch instead of
+	// planning around previously quarantined hosts.
+	NoHealthResume bool
 }
 
 // Crawler runs the pipeline.
@@ -100,6 +104,7 @@ type Crawler struct {
 	tox     *PerspectiveClient
 	health  *httpkit.HealthRegistry
 	lim     Limiter
+	plan    *planner
 	twHost  string
 	toxHost string
 	rep     *reportState
@@ -122,6 +127,10 @@ func New(cfg Config) *Crawler {
 	health := cfg.Health
 	if health == nil {
 		health = httpkit.NewHealthRegistry(cfg.Breaker)
+		if cfg.Clock != nil {
+			// Probation ages are computed against the crawl's clock.
+			health.SetClock(cfg.Clock)
+		}
 	}
 	client := httpkit.New(
 		httpkit.WithDoer(cfg.HTTP),
@@ -131,7 +140,7 @@ func New(cfg Config) *Crawler {
 		httpkit.WithHedge(cfg.Hedge),
 		httpkit.WithClock(cfg.Clock),
 	)
-	return &Crawler{
+	c := &Crawler{
 		cfg:     cfg,
 		client:  client,
 		tw:      &TwitterClient{Base: cfg.TwitterBase, C: client},
@@ -144,6 +153,8 @@ func New(cfg Config) *Crawler {
 		toxHost: hostOf(cfg.PerspectiveBase),
 		rep:     newReportState(),
 	}
+	c.plan = newPlanner(c)
+	return c
 }
 
 // hostOf extracts the lowercased hostname of a base URL, matching the
@@ -460,7 +471,7 @@ func (c *Crawler) mapAccounts(ctx context.Context, t *tracker) error {
 			//    pointing forward);
 			//  - we found the DESTINATION account (its also_known_as
 			//    alias points backwards at the first instance).
-			if acc, lerr := underLimit(ctx, c, strings.ToLower(res.Handle.Domain), func() (*MastoAccountJSON, error) {
+			if acc, lerr := underPlan(ctx, c, strings.ToLower(res.Handle.Domain), func() (*MastoAccountJSON, error) {
 				return c.masto.Lookup(ctx, res.Handle.Domain, res.Handle.Username)
 			}); lerr == nil {
 				pair.MastodonVerified = true
@@ -487,7 +498,7 @@ func (c *Crawler) mapAccounts(ctx context.Context, t *tracker) error {
 					// We discovered the destination; normalize the pair
 					// so Handle is always the FIRST account.
 					oldHandle := handleFromURL(acc.AlsoKnownAs[0], usernameFromURL(acc.AlsoKnownAs[0]))
-					old, lerr := underLimit(ctx, c, strings.ToLower(oldHandle.Domain), func() (*MastoAccountJSON, error) {
+					old, lerr := underPlan(ctx, c, strings.ToLower(oldHandle.Domain), func() (*MastoAccountJSON, error) {
 						return c.masto.Lookup(ctx, oldHandle.Domain, oldHandle.Username)
 					})
 					if lerr != nil && ctx.Err() != nil {
@@ -630,10 +641,21 @@ func (c *Crawler) crawlMastodonTimelines(ctx context.Context, t *tracker) error 
 		if done[pair.TwitterID] {
 			continue
 		}
+		// Planner partition: pairs whose primary instance is quarantined
+		// are resolved up front — recorded as instance-down with a gap
+		// entry, never scheduled, never dialed.
+		if host := strings.ToLower(pair.Handle.Domain); c.plan.decide(host) == planSkip {
+			c.rep.noteSkip(host)
+			c.rep.note(c.rep.mastoTLFailures, pair.TwitterID, errQuarantineSkip)
+			t.update(func(p *Progress) {
+				p.Dataset.MastodonTimelines[pair.TwitterID] = &MastodonTimeline{State: StateInstanceDown}
+			})
+			continue
+		}
 		g.Go(func() error {
 			tl := &MastodonTimeline{State: StateOK}
 			fetch := func(domain, accountID string) error {
-				sts, err := underLimit(ctx, c, strings.ToLower(domain), func() ([]MastoStatusJSON, error) {
+				sts, err := underPlan(ctx, c, strings.ToLower(domain), func() ([]MastoStatusJSON, error) {
 					return c.masto.Statuses(ctx, domain, accountID)
 				})
 				if err != nil {
@@ -657,7 +679,7 @@ func (c *Crawler) crawlMastodonTimelines(ctx context.Context, t *tracker) error 
 			} else {
 				// Unverified pair: try a fresh lookup (it may have failed
 				// transiently during mapping).
-				acc, lerr := underLimit(ctx, c, strings.ToLower(pair.Handle.Domain), func() (*MastoAccountJSON, error) {
+				acc, lerr := underPlan(ctx, c, strings.ToLower(pair.Handle.Domain), func() (*MastoAccountJSON, error) {
 					return c.masto.Lookup(ctx, pair.Handle.Domain, pair.Handle.Username)
 				})
 				if lerr != nil {
@@ -815,7 +837,7 @@ func (c *Crawler) crawlFollowees(ctx context.Context, t *tracker) error {
 				markDone()
 				return nil
 			}
-			accounts, err := underLimit(ctx, c, strings.ToLower(domain), func() ([]MastoAccountJSON, error) {
+			accounts, err := underPlan(ctx, c, strings.ToLower(domain), func() ([]MastoAccountJSON, error) {
 				return c.masto.Following(ctx, domain, accID)
 			})
 			if err != nil {
@@ -880,8 +902,16 @@ func (c *Crawler) crawlActivity(ctx context.Context, t *tracker) error {
 		if done[domain] {
 			continue
 		}
+		// Planner partition: quarantined instances drop out of the
+		// activity panel up front with a recorded gap, no dial spent.
+		if host := strings.ToLower(domain); c.plan.decide(host) == planSkip {
+			c.rep.noteSkip(host)
+			c.rep.note(c.rep.activityGaps, domain, errQuarantineSkip)
+			t.update(func(p *Progress) { p.DoneActivity[domain] = true })
+			continue
+		}
 		g.Go(func() error {
-			acts, err := underLimit(ctx, c, strings.ToLower(domain), func() ([]ActivityJSON, error) {
+			acts, err := underPlan(ctx, c, strings.ToLower(domain), func() ([]ActivityJSON, error) {
 				return c.masto.Activity(ctx, domain)
 			})
 			if err != nil {

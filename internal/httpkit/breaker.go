@@ -19,6 +19,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"flock/internal/vclock"
 )
 
 // ErrCircuitOpen is returned (wrapped in *HostError) when a request is
@@ -86,14 +88,23 @@ type BreakerPolicy struct {
 	// half-open probe (default 30s).
 	Cooldown time.Duration
 	// QuarantineAfter marks a host quarantined once its breaker has
-	// opened this many times (default 3). Quarantine is advisory — the
-	// breaker still probes — but crawl planners can skip quarantined
-	// hosts entirely, as the paper's crawlers skipped dead instances.
+	// opened this many times since its last success (default 3).
+	// Quarantine is advisory — the breaker still probes — but crawl
+	// planners can skip quarantined hosts entirely, as the paper's
+	// crawlers skipped dead instances.
 	QuarantineAfter int
+	// Probation is how long after its last failure a quarantined host
+	// stays skip-worthy (default 1h). Past that age the host decays to
+	// probation: HostHealth.Quarantined turns false and
+	// HostHealth.Probation true, telling planners to probe it at the
+	// limiter floor instead of banning it forever. The age is read
+	// through the registry's clock (vclock.NowFunc), so persisted
+	// quarantine state replays correctly under a virtual clock.
+	Probation time.Duration
 }
 
 // DefaultBreaker is a crawl-appropriate policy.
-var DefaultBreaker = BreakerPolicy{FailureThreshold: 5, Cooldown: 30 * time.Second, QuarantineAfter: 3}
+var DefaultBreaker = BreakerPolicy{FailureThreshold: 5, Cooldown: 30 * time.Second, QuarantineAfter: 3, Probation: time.Hour}
 
 func (p BreakerPolicy) withDefaults() BreakerPolicy {
 	if p.FailureThreshold <= 0 {
@@ -105,20 +116,35 @@ func (p BreakerPolicy) withDefaults() BreakerPolicy {
 	if p.QuarantineAfter <= 0 {
 		p.QuarantineAfter = DefaultBreaker.QuarantineAfter
 	}
+	if p.Probation <= 0 {
+		p.Probation = DefaultBreaker.Probation
+	}
 	return p
 }
 
 // HostHealth is a snapshot of one host's breaker and error taxonomy.
+// It is also the registry's persistence schema (Export/ImportHealth):
+// the JSON form rides inside crawl checkpoints, so field tags are part
+// of the checkpoint's v2 wire format.
 type HostHealth struct {
-	Host          string
-	State         BreakerState
-	ConsecFails   int
-	Opens         int // times the breaker tripped open
-	ShortCircuits int // requests refused while open
-	Quarantined   bool
-	Counts        map[ErrorKind]int
-	Successes     int
-	LastFailure   time.Time
+	Host        string       `json:"host"`
+	State       BreakerState `json:"state"`
+	ConsecFails int          `json:"consec_fails,omitempty"`
+	Opens       int          `json:"opens,omitempty"` // times the breaker tripped open, cumulative
+	// QuarantineOpens counts opens since the host's last success; the
+	// quarantine threshold reads this, so a recovered host sheds its
+	// quarantine history while Opens keeps the lifetime total.
+	QuarantineOpens int  `json:"quarantine_opens,omitempty"`
+	ShortCircuits   int  `json:"short_circuits,omitempty"` // requests refused while open
+	Quarantined     bool `json:"quarantined,omitempty"`
+	// Probation is true when the host reached the quarantine threshold
+	// but its last failure is older than the policy's Probation age:
+	// no longer skip-worthy, but planners should re-admit it at the
+	// limiter floor rather than with a full fan-out burst.
+	Probation   bool              `json:"probation,omitempty"`
+	Counts      map[ErrorKind]int `json:"counts,omitempty"`
+	Successes   int               `json:"successes,omitempty"`
+	LastFailure time.Time         `json:"last_failure"`
 }
 
 // hostState is the live breaker bookkeeping for one host.
@@ -126,6 +152,7 @@ type hostState struct {
 	state       BreakerState
 	consecFails int
 	opens       int
+	quarOpens   int // opens since the last success (quarantine threshold input)
 	shorts      int
 	counts      map[ErrorKind]int
 	successes   int
@@ -146,7 +173,7 @@ type HealthRegistry struct {
 	mu        sync.Mutex
 	policy    BreakerPolicy
 	hosts     map[string]*hostState
-	now       func() time.Time
+	now       vclock.NowFunc
 	listeners []HealthListener
 }
 
@@ -177,8 +204,21 @@ func NewHealthRegistry(policy BreakerPolicy) *HealthRegistry {
 	return &HealthRegistry{
 		policy: policy.withDefaults(),
 		hosts:  make(map[string]*hostState),
-		now:    time.Now,
+		now:    vclock.Wall,
 	}
+}
+
+// SetClock swaps the registry's time base (default vclock.Wall).
+// Cooldowns and quarantine probation ages are read through it, so a
+// crawl replayed under a virtual clock keeps deterministic breaker
+// behavior. Install the clock before traffic flows.
+func (r *HealthRegistry) SetClock(now vclock.NowFunc) {
+	if r == nil || now == nil {
+		return
+	}
+	r.mu.Lock()
+	r.now = now
+	r.mu.Unlock()
 }
 
 func (r *HealthRegistry) host(host string) *hostState {
@@ -255,6 +295,10 @@ func (r *HealthRegistry) ReportSuccess(host string) {
 	h := r.host(host)
 	h.successes++
 	h.consecFails = 0
+	// A successful exchange proves the host is back: drop the
+	// quarantine history (the cumulative opens counter stays for
+	// reporting) so planners stop skipping or flooring it.
+	h.quarOpens = 0
 	h.probing = false
 	h.state = BreakerClosed
 	r.mu.Unlock()
@@ -290,12 +334,14 @@ func (r *HealthRegistry) ReportFailure(host string, kind ErrorKind) {
 		h.state = BreakerOpen
 		h.openedAt = r.now()
 		h.opens++
+		h.quarOpens++
 		h.probing = false
 	case BreakerClosed:
 		if h.consecFails >= r.policy.FailureThreshold {
 			h.state = BreakerOpen
 			h.openedAt = r.now()
 			h.opens++
+			h.quarOpens++
 		}
 	}
 	r.mu.Unlock()
@@ -308,16 +354,25 @@ func (r *HealthRegistry) snapshotLocked(host string, h *hostState) HostHealth {
 	for k, v := range h.counts {
 		counts[k] = v
 	}
+	// Quarantine decays with age: a host over the threshold is
+	// skip-worthy while its last failure is fresher than the probation
+	// window, and merely on probation (probe at the limiter floor) once
+	// it is older. Without the decay a host that died once would be
+	// banned across every future resumed run.
+	overThreshold := h.quarOpens >= r.policy.QuarantineAfter
+	quarantined := overThreshold && r.now().Sub(h.lastFailure) < r.policy.Probation
 	return HostHealth{
-		Host:          host,
-		State:         h.state,
-		ConsecFails:   h.consecFails,
-		Opens:         h.opens,
-		ShortCircuits: h.shorts,
-		Quarantined:   h.opens >= r.policy.QuarantineAfter,
-		Counts:        counts,
-		Successes:     h.successes,
-		LastFailure:   h.lastFailure,
+		Host:            host,
+		State:           h.state,
+		ConsecFails:     h.consecFails,
+		Opens:           h.opens,
+		QuarantineOpens: h.quarOpens,
+		ShortCircuits:   h.shorts,
+		Quarantined:     quarantined,
+		Probation:       overThreshold && !quarantined,
+		Counts:          counts,
+		Successes:       h.successes,
+		LastFailure:     h.lastFailure,
 	}
 }
 
@@ -360,6 +415,54 @@ func (r *HealthRegistry) Quarantined() []string {
 		}
 	}
 	return out
+}
+
+// Export returns the registry's full state for persistence (e.g.
+// alongside a crawl checkpoint), sorted by host. The snapshot is
+// self-contained: ImportHealth on a fresh registry reconstructs
+// breaker positions, quarantine ages and the error taxonomy.
+func (r *HealthRegistry) Export() []HostHealth {
+	return r.Snapshot()
+}
+
+// ImportHealth seeds the registry from a persisted Export snapshot,
+// replacing any existing state for the same hosts. Open and half-open
+// breakers import as open with the cooldown anchored at the last
+// failure, so a stale snapshot admits a half-open probe on first Allow
+// while a fresh one keeps refusing. Quarantine is recomputed from the
+// imported QuarantineOpens and LastFailure against the receiving
+// registry's policy and clock — a snapshot older than the probation
+// window therefore lands in probation, not quarantine. Listeners are
+// not notified: imports are bookkeeping, not traffic.
+func (r *HealthRegistry) ImportHealth(snap []HostHealth) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, h := range snap {
+		if h.Host == "" {
+			continue
+		}
+		s := &hostState{
+			state:       BreakerClosed,
+			consecFails: h.ConsecFails,
+			opens:       h.Opens,
+			quarOpens:   h.QuarantineOpens,
+			shorts:      h.ShortCircuits,
+			successes:   h.Successes,
+			lastFailure: h.LastFailure,
+			counts:      make(map[ErrorKind]int, len(h.Counts)),
+		}
+		for k, v := range h.Counts {
+			s.counts[k] = v
+		}
+		if h.State == BreakerOpen || h.State == BreakerHalfOpen {
+			s.state = BreakerOpen
+			s.openedAt = h.LastFailure
+		}
+		r.hosts[h.Host] = s
+	}
 }
 
 // Classify maps a request outcome to the taxonomy: err from the

@@ -40,10 +40,20 @@ func (f *FileCheckpoint) Load() (*crawler.Progress, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: checkpoint %s: %w", f.Path, err)
 	}
-	defer zr.Close()
 	var prog crawler.Progress
 	if err := json.NewDecoder(zr).Decode(&prog); err != nil {
+		zr.Close()
 		return nil, fmt.Errorf("store: decode checkpoint %s: %w", f.Path, err)
+	}
+	// The JSON decoder stops at the end of the value, before the gzip
+	// stream trailer — drain to EOF and Close so the CRC32/length check
+	// actually runs. Without this, a truncated or tail-corrupted file
+	// decodes silently into bad progress.
+	if _, err := io.Copy(io.Discard, zr); err != nil {
+		return nil, fmt.Errorf("store: checkpoint %s corrupted: %w", f.Path, err)
+	}
+	if err := zr.Close(); err != nil {
+		return nil, fmt.Errorf("store: checkpoint %s corrupted: %w", f.Path, err)
 	}
 	return &prog, nil
 }

@@ -88,6 +88,67 @@ func TestFileCheckpointSaveIsAtomic(t *testing.T) {
 	}
 }
 
+// saveSized writes a checkpoint big enough that JSON decoding finishes
+// well before the gzip trailer, then returns the raw file bytes.
+func saveSized(t *testing.T, ck *FileCheckpoint) []byte {
+	t.Helper()
+	prog := &crawler.Progress{Phase: 2, Dataset: crawler.NewDataset(), DoneQueries: map[string]bool{}}
+	for i := 0; i < 200; i++ {
+		prog.DoneQueries[string(rune('a'+i%26))+"-query-"+string(rune('0'+i%10))] = true
+		prog.Dataset.CollectedTweets = append(prog.Dataset.CollectedTweets, crawler.CollectedTweet{
+			ID: "tweet-id-padding-padding-padding", AuthorID: "author", Text: "bye bye twitter",
+		})
+	}
+	if err := ck.Save(prog); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(ck.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestFileCheckpointLoadDetectsTailCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crawl.json.gz")
+	ck := NewFileCheckpoint(path)
+	raw := saveSized(t, ck)
+
+	// Flip a bit in the gzip trailer (last 8 bytes: CRC32 + ISIZE). The
+	// JSON payload still decodes; only the drained CRC check can notice.
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-6] ^= 0xFF
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if prog, err := ck.Load(); err == nil {
+		t.Fatalf("tail-corrupted checkpoint loaded silently: %+v", prog)
+	}
+}
+
+func TestFileCheckpointLoadDetectsTruncation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crawl.json.gz")
+	ck := NewFileCheckpoint(path)
+	raw := saveSized(t, ck)
+
+	for _, cut := range []int{4, len(raw) / 2, len(raw) - 5} {
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if prog, err := ck.Load(); err == nil {
+			t.Fatalf("checkpoint truncated to %d/%d bytes loaded silently: %+v", cut, len(raw), prog)
+		}
+	}
+
+	// The intact file still loads after all that abuse.
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if prog, err := ck.Load(); err != nil || prog == nil || prog.Phase != 2 {
+		t.Fatalf("intact checkpoint failed to load: %+v, %v", prog, err)
+	}
+}
+
 func TestFileCheckpointClear(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "crawl.json.gz")
 	ck := NewFileCheckpoint(path)
